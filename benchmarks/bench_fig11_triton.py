@@ -1,0 +1,10 @@
+"""Figure 11: the Triton benchmark suite (LEGO vs Triton vs PyTorch/cuBLAS)."""
+
+from repro.bench import figures
+
+
+def test_fig11_triton_suite(benchmark, report_rows):
+    result = benchmark.pedantic(lambda: figures.fig11(sizes=(2048, 4096, 8192)), rounds=1, iterations=1)
+    report_rows["Figure 11"] = result
+    matmul_rows = [r for r in result.rows if r["benchmark"] == "matmul_fp16"]
+    assert all(abs(r["lego_tflops"] - r["triton_tflops"]) / r["triton_tflops"] < 0.05 for r in matmul_rows)

@@ -1,0 +1,9 @@
+"""Figure 12a: NW speedup from the anti-diagonal shared-memory layout."""
+
+from repro.bench import figures
+
+
+def test_fig12a_nw_speedup(benchmark, report_rows):
+    result = benchmark.pedantic(lambda: figures.fig12a(sizes=(2048, 4096, 8192, 16384)), rounds=1, iterations=1)
+    report_rows["Figure 12a"] = result
+    assert all(1.3 <= row["speedup"] <= 2.2 for row in result.rows)

@@ -1,0 +1,10 @@
+"""Figure 12b: LUD thread-coarsening / block-size sweep."""
+
+from repro.bench import figures
+
+
+def test_fig12b_lud_sweep(benchmark, report_rows):
+    result = benchmark(lambda: figures.fig12b(n=2048))
+    report_rows["Figure 12b"] = result
+    times = {row["lud_block"]: row["time_ms"] for row in result.rows}
+    assert times[64] == min(times.values())

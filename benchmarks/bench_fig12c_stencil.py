@@ -1,0 +1,9 @@
+"""Figure 12c: 3-D stencils, array vs brick data layout."""
+
+from repro.bench import figures
+
+
+def test_fig12c_stencil_speedups(benchmark, report_rows):
+    result = benchmark(lambda: figures.fig12c(n=512, brick=8))
+    report_rows["Figure 12c"] = result
+    assert all(3.2 <= row["speedup"] <= 4.0 for row in result.rows)

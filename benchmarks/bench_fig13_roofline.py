@@ -1,0 +1,9 @@
+"""Figure 13: roofline placement of the LUD and stencil variants."""
+
+from repro.bench import figures
+
+
+def test_fig13_rooflines(benchmark, report_rows):
+    result = benchmark(figures.fig13)
+    report_rows["Figure 13"] = result
+    assert all(row["achieved_gflops"] > 0 for row in result.rows)

@@ -1,0 +1,13 @@
+"""Table I: LEGO vs CuTe/Graphene layout specifications (equivalence check)."""
+
+from repro.bench import figures
+
+
+def bench(benchmark_fn):
+    return benchmark_fn()
+
+
+def test_table1_layout_equivalence(benchmark, report_rows):
+    result = benchmark(figures.table1)
+    report_rows["Table I"] = result
+    assert all(row["lego_matches_cute"] for row in result.rows)

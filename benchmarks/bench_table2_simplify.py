@@ -1,0 +1,9 @@
+"""Table II: the integer division/modulo simplification rules."""
+
+from repro.bench import figures
+
+
+def test_table2_simplification_rules(benchmark, report_rows):
+    result = benchmark(figures.table2)
+    report_rows["Table II"] = result
+    assert all(row["matches_expected"] and row["oracle_agrees"] for row in result.rows)

@@ -1,0 +1,9 @@
+"""Table III: per-application code-generation and simplification latency."""
+
+from repro.bench import figures
+
+
+def test_table3_generation_latency(benchmark, report_rows):
+    result = benchmark.pedantic(figures.table3, rounds=1, iterations=1)
+    report_rows["Table III"] = result
+    assert all(row["generation_seconds"] < 30.0 for row in result.rows)

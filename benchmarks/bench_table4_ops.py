@@ -1,0 +1,10 @@
+"""Table IV: user-written index arithmetic before and after LEGO."""
+
+from repro.bench import figures
+
+
+def test_table4_op_reduction(benchmark, report_rows):
+    result = benchmark(figures.table4)
+    report_rows["Table IV"] = result
+    matmul_row = next(r for r in result.rows if r["operator"] == "Matmul")
+    assert (matmul_row["original_ops"], matmul_row["optimized_ops"]) == (31, 9)

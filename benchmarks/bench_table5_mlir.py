@@ -1,0 +1,11 @@
+"""Table V: MLIR 2-D transpose throughput, naive vs shared-memory staged."""
+
+from repro.bench import figures
+
+
+def test_table5_transpose(benchmark, report_rows):
+    result = benchmark(lambda: figures.table5(sizes=(2048, 4096, 8192)))
+    report_rows["Table V"] = result
+    smem = [r for r in result.rows if r["variant"] == "smem"]
+    naive = [r for r in result.rows if r["variant"] == "naive"]
+    assert min(s["lego_mlir_gbs"] for s in smem) > 3 * max(n["lego_mlir_gbs"] for n in naive)

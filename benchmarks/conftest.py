@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harnesses (one module per table/figure)."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(name): which paper table/figure a benchmark regenerates")
+
+
+@pytest.fixture(scope="session")
+def report_rows():
+    """Collects each benchmark's reproduced rows so the session prints a summary."""
+    collected: dict[str, object] = {}
+    yield collected
+    if collected:
+        print("\n\n==== reproduced experiments ====")
+        for name in sorted(collected):
+            print(collected[name].to_text())
+            print()

@@ -1,0 +1,45 @@
+"""Layout exploration: generate and run all four matmul transpose variants.
+
+The kernel template never changes — only the ``Row`` / ``Col`` data layouts
+of the operands do — which is the paper's "modify computations simply by
+changing layouts" claim.  Each generated kernel is executed on the
+mini-Triton interpreter and validated against NumPy, then its estimated
+A100 performance is printed next to the cuBLAS-class baseline.
+
+Run with ``python examples/matmul_layout_exploration.py``.
+"""
+
+import numpy as np
+
+from repro.apps import matmul
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((64, 64)).astype(np.float16)
+    b = rng.standard_normal((64, 64)).astype(np.float16)
+    reference = a.astype(np.float32) @ b.astype(np.float32)
+    config = matmul.MatmulConfig(M=64, N=64, K=64, BM=16, BN=16, BK=16, GM=2)
+
+    print("variant  correct  index-expr ops  generation (s)")
+    for variant in ("nn", "nt", "tn", "tt"):
+        kernel = matmul.generate_matmul_kernel(variant)
+        result, _ = matmul.run_matmul(kernel, a, b, config, variant)
+        correct = np.allclose(result.astype(np.float32), reference, atol=1.0, rtol=1e-2)
+        print(f"{variant:7s}  {str(correct):7s}  {kernel.binding_ops():14d}  {kernel.generation_seconds:.2f}")
+
+    print("\nEstimated FP16 GEMM throughput (TFLOP/s) on the analytic A100 model:")
+    print("size    LEGO/Triton   cuBLAS-class")
+    for n in (2048, 4096, 8192):
+        cfg = matmul.MatmulConfig(n, n, n)
+        flops = 2.0 * n ** 3
+        lego = flops / matmul.matmul_performance(cfg, "lego") / 1e12
+        cublas = flops / matmul.matmul_performance(cfg, "cublas") / 1e12
+        print(f"{n:<7d} {lego:12.0f} {cublas:14.0f}")
+
+    print("\nGenerated kernel for the 'nn' variant (matches the paper's Figure 10):\n")
+    print(matmul.generate_matmul_kernel("nn").source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""MLIR integration: generate, verify, print and execute the transpose kernels.
+
+Generates the naive and shared-memory-staged 2-D transpose modules from LEGO
+layouts (including the skewed shared-memory layout that removes bank
+conflicts), prints the MLIR, interprets both kernels for correctness, and
+reports the Table V throughput comparison against the CUDA SDK baseline.
+
+Run with ``python examples/mlir_transpose.py``.
+"""
+
+import numpy as np
+
+from repro.apps import transpose
+
+
+def main() -> None:
+    config = transpose.TransposeConfig(n=64, tile=16)
+    matrix = np.arange(64 * 64, dtype=np.float32).reshape(64, 64)
+
+    for variant in ("naive", "smem"):
+        kernel = transpose.generate_transpose(config, variant)
+        result, launch = transpose.run_transpose(kernel, matrix, config)
+        print(f"== {variant} variant (generated in {kernel.generation_seconds:.3f} s)")
+        print("correct:", np.array_equal(result, matrix.T))
+        print(f"global store transactions: {launch.store_transactions:.0f}")
+        print(f"shared-memory conflict factor: {launch.bank_conflict_factor:.2f}")
+        print()
+
+    print("Generated MLIR for the staged variant:\n")
+    print(transpose.generate_transpose(config, "smem").text)
+
+    print("\nTable V reproduction (GB/s):")
+    for row in transpose.transpose_table():
+        print(
+            f"  {row['size']:>5d} {row['variant']:<6s} "
+            f"CUDA-SDK {row['cuda_sdk_gbs']:7.1f}   LEGO-MLIR {row['lego_mlir_gbs']:7.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setuptools shim (legacy editable install; metadata lives in pyproject.toml)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LEGO: a layout expression language for code generation of "
+        "hierarchical mapping (reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

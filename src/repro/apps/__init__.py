@@ -1,0 +1,42 @@
+"""The paper's benchmark applications, built on the LEGO stack.
+
+Each module pairs a LEGO layout specification with a kernel template (Triton
+or CUDA) or a mini-CUDA kernel, and exposes three things:
+
+* ``generate_*`` — produce the kernel source from layouts (code generation);
+* ``run_*`` / ``*_reference`` — execute the kernel on the corresponding
+  substrate and check it against a NumPy reference;
+* ``*_performance`` — estimate wall-clock time on the analytic A100 model,
+  for the layout variants the paper's evaluation compares.
+
+Modules
+-------
+``matmul``        FP16 matrix multiplication, four transpose variants (Fig. 1/10/11)
+``grouped_gemm``  grouped GEMM over a batch of equally-sized groups (Fig. 11)
+``softmax``       row-wise fused softmax (Fig. 11)
+``layernorm``     LayerNorm forward and backward (Fig. 11)
+``nw``            Needleman-Wunsch with anti-diagonal shared-memory layout (Fig. 12a)
+``lud``           LU decomposition with thread-coarsening layouts (Fig. 12b, 13a)
+``stencil``       3-D star/cube stencils, array vs. brick layout (Fig. 12c, 13b)
+``transpose``     2-D transpose through the MLIR backend (Table V)
+"""
+
+from importlib import import_module
+
+__all__ = [
+    "matmul",
+    "grouped_gemm",
+    "softmax",
+    "layernorm",
+    "nw",
+    "lud",
+    "stencil",
+    "transpose",
+]
+
+
+def __getattr__(name: str):
+    """Load application modules on first use (keeps ``import repro`` light)."""
+    if name in __all__:
+        return import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

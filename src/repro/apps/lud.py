@@ -1,0 +1,225 @@
+"""LU decomposition (Rodinia LUD) with thread coarsening as a layout.
+
+Rodinia's LUD factors an ``n x n`` matrix in ``B x B`` blocks: for each step
+``k`` a *diagonal* kernel factors block ``(k, k)``, a *perimeter* kernel
+updates the row and column panels, and an *internal* kernel updates the
+trailing submatrix.  The paper re-imagines thread coarsening as a LEGO
+thread-block layout (Table I, row "12b"): the logical LUD block of size
+``B x B`` is tiled as ``GroupBy([R, R], [T, T]).OrderBy(Row(R*T, R*T))``
+where ``T x T`` is the CUDA block and ``R`` the per-thread coarsening
+factor, so the same kernel body serves every configuration.
+
+Figure 12b's result: the best configuration uses an LUD block of ``64`` with
+coarsening ``4`` (CUDA block fixed at ``16 x 16``), because larger blocks
+move less data per step and expose enough work per thread block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codegen import CodegenContext, CudaKernel, generate_cuda_kernel
+from ..core import GroupBy, Row
+from ..gpusim import A100_80GB, DeviceSpec, KernelCost, estimate_time
+from ..symbolic import Var
+
+__all__ = [
+    "LudConfig",
+    "coarsened_thread_layout",
+    "LUD_INTERNAL_TEMPLATE",
+    "generate_lud_internal_kernel",
+    "lud_reference",
+    "lud_blocked",
+    "lud_performance",
+    "lud_configurations",
+]
+
+
+@dataclass(frozen=True)
+class LudConfig:
+    """One LUD configuration: matrix size, LUD block size and CUDA block side."""
+
+    n: int
+    block: int = 16
+    cuda_block: int = 16
+
+    def __post_init__(self):
+        if self.n % self.block != 0:
+            raise ValueError(f"matrix size {self.n} must be a multiple of the block {self.block}")
+        if self.block % self.cuda_block != 0:
+            raise ValueError(
+                f"LUD block {self.block} must be a multiple of the CUDA block {self.cuda_block}"
+            )
+
+    @property
+    def coarsening(self) -> int:
+        """Elements computed per thread along each dimension."""
+        return self.block // self.cuda_block
+
+    @property
+    def num_blocks(self) -> int:
+        return self.n // self.block
+
+
+def coarsened_thread_layout(block: int, cuda_block: int) -> GroupBy:
+    """The Table I thread layout: ``GroupBy([R, R], [T, T]).OrderBy(Row(R*T, R*T))``.
+
+    Logical coordinates are ``(r_i, r_j, t_i, t_j)`` — which of the ``R x R``
+    coarsening repetitions a thread is handling and the thread's position in
+    the ``T x T`` CUDA block; ``apply`` gives the element of the LUD block it
+    owns, laid out row-major over the full ``(R*T) x (R*T)`` block.
+    """
+    coarsening = block // cuda_block
+    return GroupBy([coarsening, coarsening], [cuda_block, cuda_block]).OrderBy(Row(block, block))
+
+
+LUD_INTERNAL_TEMPLATE = """\
+__global__ void lud_internal(float *m, int matrix_dim, int offset)
+{{
+    __shared__ float peri_row[{B}][{B}];
+    __shared__ float peri_col[{B}][{B}];
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    // LEGO thread layout: each thread owns {R}x{R} elements of the {B}x{B} block
+    for (int r_i = 0; r_i < {R}; ++r_i)
+      for (int r_j = 0; r_j < {R}; ++r_j) {{
+        int element = {{{{ element_offset }}}};
+        int i = element / {B};
+        int j = element % {B};
+        float sum = 0.0f;
+        for (int k = 0; k < {B}; ++k)
+            sum += peri_col[i][k] * peri_row[k][j];
+        m[(offset + blockIdx.y * {B} + i) * matrix_dim + offset + blockIdx.x * {B} + j] -= sum;
+      }}
+}}
+"""
+
+
+def generate_lud_internal_kernel(config: LudConfig) -> CudaKernel:
+    """Instantiate the internal-kernel template for one coarsening configuration.
+
+    The only generated expression is the element offset each thread derives
+    from the coarsened thread layout; the kernel body is otherwise identical
+    across configurations (coarsening is "just a layout").
+    """
+    layout = coarsened_thread_layout(config.block, config.cuda_block)
+    r_i, r_j, tx, ty = Var("r_i"), Var("r_j"), Var("tx"), Var("ty")
+    ctx = CodegenContext(name=f"lud_internal_b{config.block}")
+    coarsening = config.coarsening
+    ctx.index(r_i, coarsening)
+    ctx.index(r_j, coarsening)
+    ctx.index(tx, config.cuda_block)
+    ctx.index(ty, config.cuda_block)
+    ctx.bind("element_offset", layout.apply(r_i, r_j, ty, tx))
+    template = LUD_INTERNAL_TEMPLATE.format(B=config.block, R=coarsening)
+    return generate_cuda_kernel(f"lud_internal_b{config.block}", template, ctx)
+
+
+def lud_reference(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unblocked Doolittle LU decomposition (no pivoting); returns ``(L, U)``."""
+    a = matrix.astype(np.float64).copy()
+    n = a.shape[0]
+    lower = np.eye(n)
+    for k in range(n):
+        lower[k + 1 :, k] = a[k + 1 :, k] / a[k, k]
+        a[k + 1 :, k:] -= np.outer(lower[k + 1 :, k], a[k, k:])
+        a[k + 1 :, k] = 0.0
+    return lower, a
+
+
+def lud_blocked(matrix: np.ndarray, block: int) -> np.ndarray:
+    """Blocked in-place LUD mirroring the Rodinia kernel structure.
+
+    The result stores ``L`` (unit diagonal implied) below the diagonal and
+    ``U`` on/above it, exactly like the Rodinia output, so correctness can be
+    checked as ``L @ U == A``.  The per-step phases correspond to the
+    diagonal / perimeter / internal kernels.
+    """
+    a = matrix.astype(np.float64).copy()
+    n = a.shape[0]
+    if n % block != 0:
+        raise ValueError("matrix size must be a multiple of the block size")
+    for start in range(0, n, block):
+        end = start + block
+        # diagonal kernel: factor the diagonal block
+        for k in range(start, end):
+            a[k + 1 : end, k] /= a[k, k]
+            a[k + 1 : end, k + 1 : end] -= np.outer(a[k + 1 : end, k], a[k, k + 1 : end])
+        if end == n:
+            break
+        diag = a[start:end, start:end]
+        lower = np.tril(diag, -1) + np.eye(block)
+        upper = np.triu(diag)
+        # perimeter kernel: update the row panel and the column panel
+        a[start:end, end:] = np.linalg.solve(lower, a[start:end, end:])
+        a[end:, start:end] = np.linalg.solve(upper.T, a[end:, start:end].T).T
+        # internal kernel: rank-`block` update of the trailing submatrix
+        a[end:, end:] -= a[end:, start:end] @ a[start:end, end:]
+    return a
+
+
+def split_lu(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split the packed LUD output into ``(L, U)`` factors."""
+    lower = np.tril(packed, -1) + np.eye(packed.shape[0])
+    upper = np.triu(packed)
+    return lower, upper
+
+
+def lud_performance(config: LudConfig, device: DeviceSpec = A100_80GB) -> float:
+    """Estimated end-to-end LUD time for one (block, coarsening) configuration.
+
+    The internal kernel dominates: for step ``k`` it launches
+    ``(nb - k - 1)^2`` thread blocks, each reading its two perimeter panels
+    plus its own block and performing ``2 B^3`` flops.  Larger LUD blocks
+    mean fewer steps (fewer kernel launches), less repeated panel traffic and
+    more work per thread block — but need coarsening to stay within the CUDA
+    block limit, which is exactly the Figure 12b trade-off.
+    """
+    n, block = config.n, config.block
+    nb = config.num_blocks
+    element = 4.0
+
+    total = 0.0
+    launch_overhead = device.launch_overhead_us * 1e-6
+    threads_per_block = config.cuda_block * config.cuda_block
+    for k in range(nb):
+        trailing = nb - k - 1
+        # diagonal + perimeter kernels (small, latency/launch dominated)
+        perim_blocks = max(1, 2 * trailing)
+        perim_bytes = element * (2 * trailing + 1) * block * block * 3
+        perim_flops = (2 * trailing + 1) * block ** 3
+        perim_cost = KernelCost(
+            name="lud_perimeter",
+            flops=perim_flops,
+            dram_bytes=perim_bytes,
+            blocks=float(perim_blocks),
+            threads_per_block=float(threads_per_block),
+            threads=float(perim_blocks * threads_per_block),
+            smem_per_block=float(2 * block * block * element),
+        )
+        total += estimate_time(perim_cost, device).total + 2 * launch_overhead
+        if trailing == 0:
+            continue
+        # internal kernel
+        internal_blocks = trailing * trailing
+        internal_bytes = element * internal_blocks * (3 * block * block)
+        internal_flops = 2.0 * internal_blocks * block ** 3
+        internal_cost = KernelCost(
+            name="lud_internal",
+            flops=internal_flops,
+            dram_bytes=internal_bytes,
+            blocks=float(internal_blocks),
+            threads_per_block=float(threads_per_block),
+            threads=float(internal_blocks * threads_per_block),
+            smem_per_block=float(2 * block * block * element),
+            compute_efficiency=0.6,
+        )
+        total += estimate_time(internal_cost, device).total + launch_overhead
+    return total
+
+
+def lud_configurations(n: int) -> list[LudConfig]:
+    """The Figure 12b configuration sweep: LUD blocks 16/32/64, CUDA block 16."""
+    return [LudConfig(n=n, block=b, cuda_block=16) for b in (16, 32, 64)]

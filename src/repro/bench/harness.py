@@ -1,0 +1,57 @@
+"""Small helpers shared by the per-figure/table reproduction entry points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "format_series"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced experiment: an identifier, rows of data, and notes."""
+
+    experiment: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        header = f"== {self.experiment}: {self.description}"
+        body = format_table(self.rows)
+        note = f"\n{self.notes}" if self.notes else ""
+        return f"{header}\n{body}{note}"
+
+
+def format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = [
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    for rendered_row in rendered:
+        lines.append("  ".join(rendered_row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Iterable, ys: Iterable) -> str:
+    """Render an (x, y) series as one text line per point."""
+    pairs = ", ".join(f"{x}: {_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)

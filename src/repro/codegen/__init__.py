@@ -1,0 +1,38 @@
+"""Code generation: templates, contexts and backend generators.
+
+* :func:`render_template` — the ``{{ }}`` placeholder engine,
+* :class:`CodegenContext` — symbols, assumptions and named layout bindings,
+* :func:`generate_triton_kernel` / :func:`generate_cuda_kernel` — backend
+  template instantiation,
+* :func:`generate_accessor_wrapper` — CUDA accessor-struct emission for
+  layouts applied per-access (the NW integration style),
+* :class:`GenerationReport`, :func:`time_generation`,
+  :func:`compare_expansion_strategies` — the latency / op-count reporting used
+  by Tables III and IV.
+
+The MLIR backend lives in :mod:`repro.codegen.mlir` and is re-exported lazily
+to keep the MLIR substrate optional at import time.
+"""
+
+from .template import TemplateError, extract_placeholders, render_template
+from .context import CodegenContext, LoweredBinding, lower_expression
+from .triton import TritonKernel, generate_triton_kernel
+from .cuda import CudaKernel, generate_accessor_wrapper, generate_cuda_kernel
+from .pipeline import GenerationReport, compare_expansion_strategies, time_generation
+
+__all__ = [
+    "TemplateError",
+    "extract_placeholders",
+    "render_template",
+    "CodegenContext",
+    "LoweredBinding",
+    "lower_expression",
+    "TritonKernel",
+    "generate_triton_kernel",
+    "CudaKernel",
+    "generate_cuda_kernel",
+    "generate_accessor_wrapper",
+    "GenerationReport",
+    "compare_expansion_strategies",
+    "time_generation",
+]

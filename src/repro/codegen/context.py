@@ -1,0 +1,189 @@
+"""The code-generation context: layouts -> named, simplified index expressions.
+
+A :class:`CodegenContext` collects
+
+* the kernel's symbols and their assumptions (sizes are positive, indices are
+  bounded by their extents, user constraints such as ``BK | K``),
+* named bindings — each binding is a layout slice (``DL_a[pid_m, k, :, :]``),
+  a layout inverse (``CL.inv(pid)``), or a plain symbolic expression,
+
+and lowers every binding to simplified source text for a chosen printer.  The
+lowering of each binding follows Section IV-A of the paper: both the
+unexpanded and the pre-expanded forms are simplified and the variant with the
+lower operation count wins.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.slicing import LayoutSlice
+from ..symbolic import (
+    CostWeights,
+    Expr,
+    PythonPrinter,
+    SymbolicEnv,
+    Var,
+    as_expr,
+    expand,
+    operation_count,
+    simplify_fixpoint,
+)
+
+__all__ = ["LoweredBinding", "CodegenContext", "lower_expression"]
+
+
+@dataclass
+class LoweredBinding:
+    """One named index expression after simplification."""
+
+    name: str
+    expr: Expr
+    variant: str  # "unexpanded" | "expanded"
+    ops: int
+    raw_ops: int
+    substitutions: dict[str, str] = field(default_factory=dict)
+
+    def render(self, printer: PythonPrinter | None = None, extra_substitutions: Mapping[str, str] | None = None) -> str:
+        printer = printer or PythonPrinter()
+        subs = dict(self.substitutions)
+        if extra_substitutions:
+            subs.update(extra_substitutions)
+        merged = type(printer)(substitutions={**printer.substitutions, **subs})
+        return merged.doprint(self.expr)
+
+
+def lower_expression(
+    expr: Expr,
+    env: SymbolicEnv,
+    pre_expand: str = "auto",
+    weights: CostWeights | None = None,
+) -> tuple[Expr, str, int]:
+    """Simplify ``expr`` under ``env`` choosing the expansion strategy.
+
+    ``pre_expand`` is ``"auto"`` (generate both variants, keep the cheaper —
+    the paper's cost model), ``"never"`` or ``"always"``.  Returns
+    ``(simplified, variant, op_count)``.
+    """
+    weights = weights or CostWeights()
+    candidates: list[tuple[str, Expr]] = []
+    if pre_expand in ("auto", "never"):
+        candidates.append(("unexpanded", simplify_fixpoint(expr, env)))
+    if pre_expand in ("auto", "always"):
+        candidates.append(("expanded", simplify_fixpoint(expand(expr), env)))
+    # Ties on total op count are broken towards the variant with fewer integer
+    # divisions/modulos, which are the expensive operations on GPUs.
+    divmod_weights = CostWeights(add=0, mul=0, floordiv=1, mod=1, minmax=0, cmp=0, boolean=0)
+    best_variant, best_expr, best_cost = None, None, None
+    for variant, simplified in candidates:
+        cost = (operation_count(simplified, weights), operation_count(simplified, divmod_weights))
+        if best_cost is None or cost < best_cost:
+            best_variant, best_expr, best_cost = variant, simplified, cost
+    assert best_expr is not None and best_variant is not None and best_cost is not None
+    return best_expr, best_variant, best_cost[0]
+
+
+class CodegenContext:
+    """Collects symbols, assumptions and named bindings for one kernel."""
+
+    def __init__(self, name: str = "kernel", pre_expand: str = "auto", weights: CostWeights | None = None):
+        self.name = name
+        self.env = SymbolicEnv()
+        self.pre_expand = pre_expand
+        self.weights = weights or CostWeights()
+        self._bindings: dict[str, object] = {}
+        self._substitutions: dict[str, str] = {}
+        self.generation_seconds: float | None = None
+
+    # -- symbol declarations -----------------------------------------------------
+
+    def size(self, *names) -> tuple[Var, ...]:
+        """Declare positive size symbols and return them as variables."""
+        out = []
+        for name in names:
+            var = name if isinstance(name, Var) else Var(str(name))
+            self.env.declare_size(var)
+            out.append(var)
+        return tuple(out)
+
+    def index(self, name, extent) -> Var:
+        """Declare an index symbol with range ``[0, extent - 1]``."""
+        return self.env.declare_index(name, extent)
+
+    def nonneg(self, *names) -> tuple[Var, ...]:
+        out = []
+        for name in names:
+            var = name if isinstance(name, Var) else Var(str(name))
+            self.env.declare_nonneg(var)
+            out.append(var)
+        return tuple(out)
+
+    def divisible(self, dividend, divisor) -> None:
+        """Record the user constraint that ``divisor`` divides ``dividend``."""
+        self.env.declare_divisible(dividend, divisor)
+
+    def substitute(self, **renders: str) -> None:
+        """Override how particular variables render in the generated source."""
+        self._substitutions.update(renders)
+
+    # -- bindings -----------------------------------------------------------------
+
+    def bind(self, name: str, value) -> None:
+        """Bind a name to an expression, a layout slice or a sequence of expressions."""
+        self._bindings[name] = value
+
+    def bind_many(self, **values) -> None:
+        for name, value in values.items():
+            self.bind(name, value)
+
+    def bind_inverse(self, names: Sequence[str], layout, flat_expr) -> None:
+        """Bind the components of ``layout.inv(flat_expr)`` to ``names``."""
+        coords = layout.inv(as_expr(flat_expr))
+        if len(coords) != len(names):
+            raise ValueError(
+                f"layout.inv produced {len(coords)} coordinates but {len(names)} names were given"
+            )
+        for name, coord in zip(names, coords):
+            self.bind(name, as_expr(coord))
+
+    # -- lowering -----------------------------------------------------------------
+
+    def lower(self) -> dict[str, LoweredBinding]:
+        """Simplify every binding; records the wall-clock generation time."""
+        started = time.perf_counter()
+        lowered: dict[str, LoweredBinding] = {}
+        for name, value in self._bindings.items():
+            lowered[name] = self._lower_one(name, value)
+        self.generation_seconds = time.perf_counter() - started
+        return lowered
+
+    def _lower_one(self, name: str, value) -> LoweredBinding:
+        substitutions = dict(self._substitutions)
+        if isinstance(value, LayoutSlice):
+            value.contribute_env(self.env)
+            substitutions.update(value.substitutions())
+            expr = value.offset
+        else:
+            expr = as_expr(value)
+        raw_ops = operation_count(expr, self.weights)
+        simplified, variant, ops = lower_expression(expr, self.env, self.pre_expand, self.weights)
+        return LoweredBinding(
+            name=name,
+            expr=simplified,
+            variant=variant,
+            ops=ops,
+            raw_ops=raw_ops,
+            substitutions=substitutions,
+        )
+
+    def render(self, printer: PythonPrinter | None = None) -> dict[str, str]:
+        """Lower all bindings and render them to source text."""
+        printer = printer or PythonPrinter()
+        return {name: binding.render(printer) for name, binding in self.lower().items()}
+
+    def total_ops(self) -> int:
+        """Total operation count across all lowered bindings (Table IV metric)."""
+        lowered = self.lower()
+        return operation_count([b.expr for b in lowered.values()], self.weights)

@@ -1,0 +1,88 @@
+"""End-to-end code-generation pipeline helpers.
+
+Gathers the pieces the evaluation section reports on:
+
+* :class:`GenerationReport` — per-kernel generation/simplification latency
+  (Table III) and index-expression operation counts before/after optimisation
+  (Table IV);
+* :func:`time_generation` — run a generator callable and capture its report;
+* :func:`compare_expansion_strategies` — the Section IV-A ablation: simplify
+  with and without pre-expansion and report both op counts (NW prefers the
+  unexpanded form, LUD the expanded one).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..symbolic import CostWeights, Expr, SymbolicEnv, expand, operation_count, simplify_fixpoint
+
+__all__ = ["GenerationReport", "time_generation", "compare_expansion_strategies"]
+
+
+@dataclass
+class GenerationReport:
+    """Latency and op-count summary for one generated kernel."""
+
+    name: str
+    generation_seconds: float
+    original_ops: int
+    optimized_ops: int
+    details: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def reduction(self) -> float:
+        """Fractional reduction in index arithmetic (1.0 = everything removed)."""
+        if self.original_ops == 0:
+            return 0.0
+        return 1.0 - self.optimized_ops / self.original_ops
+
+    def row(self) -> tuple[str, float, int, int]:
+        return (self.name, self.generation_seconds, self.original_ops, self.optimized_ops)
+
+
+def time_generation(name: str, generator: Callable[[], object]) -> tuple[object, GenerationReport]:
+    """Run ``generator`` and wrap its result in a :class:`GenerationReport`.
+
+    The generator result may expose ``bindings`` (a mapping of
+    :class:`repro.codegen.context.LoweredBinding`) — in that case the op
+    counts are extracted automatically; otherwise they are reported as zero
+    and the caller can fill them in.
+    """
+    started = time.perf_counter()
+    result = generator()
+    elapsed = time.perf_counter() - started
+
+    original_ops = 0
+    optimized_ops = 0
+    bindings = getattr(result, "bindings", None)
+    if isinstance(bindings, Mapping):
+        exprs = []
+        for binding in bindings.values():
+            original_ops += binding.raw_ops
+            exprs.append(binding.expr)
+        optimized_ops = operation_count(exprs)
+    report = GenerationReport(
+        name=name,
+        generation_seconds=elapsed,
+        original_ops=original_ops,
+        optimized_ops=optimized_ops,
+    )
+    return result, report
+
+
+def compare_expansion_strategies(
+    expr: Expr,
+    env: SymbolicEnv,
+    weights: CostWeights | None = None,
+) -> dict[str, int]:
+    """Section IV-A ablation: op counts of the unexpanded vs expanded pipeline."""
+    weights = weights or CostWeights()
+    unexpanded = simplify_fixpoint(expr, env)
+    expanded = simplify_fixpoint(expand(expr), env)
+    return {
+        "unexpanded": operation_count(unexpanded, weights),
+        "expanded": operation_count(expanded, weights),
+    }

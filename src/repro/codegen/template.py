@@ -1,0 +1,75 @@
+"""Minimal ``{{ placeholder }}`` template engine (Jinja2 substitute).
+
+The paper's Triton/CUDA integration takes a user-supplied kernel template
+containing Jinja2-style placeholders and replaces each placeholder with the
+index expression LEGO derives for it.  Only placeholder substitution is used,
+so this reproduction implements exactly that:
+
+* ``{{ name }}`` — substitute the rendered value bound to ``name``;
+* ``{{ name | indent(n) }}`` — substitute with every line after the first
+  indented by ``n`` spaces (useful for multi-line MLIR snippets);
+* unknown placeholders raise :class:`TemplateError` (typos in templates must
+  not silently generate broken kernels).
+
+``extract_placeholders`` is used by the generators to validate that a
+template and a set of bindings agree before rendering.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+__all__ = ["TemplateError", "render_template", "extract_placeholders"]
+
+_PLACEHOLDER_RE = re.compile(r"\{\{\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?:\|\s*(?P<filter>[^}]+?)\s*)?\}\}")
+_INDENT_RE = re.compile(r"indent\(\s*(\d+)\s*\)")
+
+
+class TemplateError(ValueError):
+    """Raised for unknown placeholders or malformed filters."""
+
+
+def extract_placeholders(template: str) -> list[str]:
+    """All placeholder names appearing in ``template`` (in order, with duplicates removed)."""
+    seen: list[str] = []
+    for match in _PLACEHOLDER_RE.finditer(template):
+        name = match.group("name")
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def _apply_filter(value: str, filter_text: str) -> str:
+    filter_text = filter_text.strip()
+    indent_match = _INDENT_RE.fullmatch(filter_text)
+    if indent_match:
+        pad = " " * int(indent_match.group(1))
+        lines = value.splitlines()
+        if not lines:
+            return value
+        return ("\n" + pad).join(lines)
+    raise TemplateError(f"unknown template filter: {filter_text!r}")
+
+
+def render_template(template: str, bindings: Mapping[str, object], strict: bool = True) -> str:
+    """Substitute every ``{{ name }}`` placeholder in ``template``.
+
+    Values are converted with ``str``.  With ``strict`` (the default), a
+    placeholder without a binding raises :class:`TemplateError`; bindings
+    that never appear in the template are always allowed.
+    """
+
+    def _replace(match: re.Match) -> str:
+        name = match.group("name")
+        if name not in bindings:
+            if strict:
+                raise TemplateError(f"no binding provided for template placeholder {{{{ {name} }}}}")
+            return match.group(0)
+        value = str(bindings[name])
+        filter_text = match.group("filter")
+        if filter_text:
+            value = _apply_filter(value, filter_text)
+        return value
+
+    return _PLACEHOLDER_RE.sub(_replace, template)

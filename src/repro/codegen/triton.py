@@ -1,0 +1,77 @@
+"""Triton template instantiation (Section IV-A of the paper).
+
+The user supplies a Triton kernel template with ``{{ placeholder }}`` markers
+for every index expression, plus layouts for data and computation; LEGO lowers
+the layouts to simplified symbolic expressions and substitutes them into the
+template.  The result is an ordinary Triton kernel (Figure 10 of the paper).
+
+In this reproduction the generated kernels are strings of *mini-Triton*
+source: syntactically the same ``tl.*`` calls as real Triton, executed by the
+NumPy-backed interpreter in :mod:`repro.minitriton` (the substitution for a
+GPU + the Triton compiler documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..symbolic import TritonPrinter
+from .context import CodegenContext, LoweredBinding
+from .template import extract_placeholders, render_template
+
+__all__ = ["TritonKernel", "generate_triton_kernel"]
+
+
+@dataclass
+class TritonKernel:
+    """A generated Triton kernel: source text plus lowering metadata."""
+
+    name: str
+    source: str
+    bindings: dict[str, LoweredBinding]
+    constants: dict[str, int] = field(default_factory=dict)
+    generation_seconds: float = 0.0
+
+    def binding_ops(self) -> int:
+        """Total arithmetic operations across the generated index expressions."""
+        from ..symbolic import operation_count
+
+        return operation_count([b.expr for b in self.bindings.values()])
+
+
+def generate_triton_kernel(
+    name: str,
+    template: str,
+    context: CodegenContext,
+    extra_bindings: Mapping[str, object] | None = None,
+    constants: Mapping[str, int] | None = None,
+) -> TritonKernel:
+    """Instantiate ``template`` with the expressions lowered from ``context``.
+
+    ``extra_bindings`` are substituted verbatim (strings or stringifiable
+    values) — useful for names that are not index expressions, such as data
+    types.  Every placeholder in the template must be covered by either the
+    context bindings or ``extra_bindings``.
+    """
+    lowered = context.lower()
+    printer = TritonPrinter()
+    rendered: dict[str, object] = {
+        binding_name: binding.render(printer) for binding_name, binding in lowered.items()
+    }
+    if extra_bindings:
+        for key, value in extra_bindings.items():
+            rendered.setdefault(key, value)
+    missing = [p for p in extract_placeholders(template) if p not in rendered]
+    if missing:
+        raise ValueError(
+            f"template for kernel {name!r} has unbound placeholders: {', '.join(missing)}"
+        )
+    source = render_template(template, rendered)
+    return TritonKernel(
+        name=name,
+        source=source,
+        bindings=lowered,
+        constants=dict(constants or {}),
+        generation_seconds=context.generation_seconds or 0.0,
+    )

@@ -1,0 +1,78 @@
+"""The LEGO layout algebra — the paper's primary contribution.
+
+Public surface:
+
+* grammar blocks — :class:`GroupBy`, :class:`OrderBy`, :class:`RegP`,
+  :class:`GenP`, :class:`ExpandBy`, :class:`InjectiveLayout`;
+* sugar — :func:`Row`, :func:`Col`, :func:`TileBy`, :func:`TileOrderBy`;
+* permutation library — :func:`antidiagonal`, :func:`reverse_permutation`,
+  :func:`morton`, :func:`xor_swizzle`, :func:`hilbert2d`;
+* slicing — ``layout[pid, k, :, :]`` produces a :class:`LayoutSlice` with the
+  symbolic tile offset used by the code generators;
+* canonical bijections — :func:`flatten_index`, :func:`unflatten_index`;
+* CuTe/Graphene comparison baseline — :class:`StrideLayout`,
+  :func:`strides_from_layout`, :func:`equivalent`.
+
+``Layout`` is an alias of :class:`GroupBy`, the user-facing layout object.
+"""
+
+from .bijection import flatten_index, product, unflatten_index, validate_index
+from .perms import GenP, Perm, RegP, apply_permutation, identity_permutation, invert_permutation
+from .blocks import GroupBy, OrderBy
+from .sugar import Col, Row, TileBy, TileOrderBy, interleave_sigma
+from .expand import ExpandBy, expanded_shape
+from .injective import InjectiveLayout, broadcast_cols, broadcast_rows, even_mapping
+from .library import (
+    antidiag_index,
+    antidiag_index_inv,
+    antidiagonal,
+    hilbert2d,
+    morton,
+    reverse_permutation,
+    xor_swizzle,
+)
+from .slicing import IndexAtom, LayoutSlice, slice_layout
+from .cute import StrideLayout, equivalent, strides_from_layout
+
+#: the user-facing layout object (a ``GroupBy`` with a chain of reorderings)
+Layout = GroupBy
+
+__all__ = [
+    "flatten_index",
+    "unflatten_index",
+    "validate_index",
+    "product",
+    "GenP",
+    "Perm",
+    "RegP",
+    "apply_permutation",
+    "identity_permutation",
+    "invert_permutation",
+    "GroupBy",
+    "OrderBy",
+    "Layout",
+    "Row",
+    "Col",
+    "TileBy",
+    "TileOrderBy",
+    "interleave_sigma",
+    "ExpandBy",
+    "expanded_shape",
+    "InjectiveLayout",
+    "broadcast_rows",
+    "broadcast_cols",
+    "even_mapping",
+    "antidiagonal",
+    "antidiag_index",
+    "antidiag_index_inv",
+    "reverse_permutation",
+    "morton",
+    "xor_swizzle",
+    "hilbert2d",
+    "IndexAtom",
+    "LayoutSlice",
+    "slice_layout",
+    "StrideLayout",
+    "strides_from_layout",
+    "equivalent",
+]

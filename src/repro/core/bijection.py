@@ -1,0 +1,88 @@
+"""Canonical bijections between multi-dimensional and flat index spaces.
+
+The "mathematical glue" of the LEGO algebra (Section III-A of the paper) is
+the pair of canonical bijections
+
+* ``B``      — flatten a multi-dimensional index to a flat index, and
+* ``B^{-1}`` — unflatten a flat index back to multi-dimensional coordinates,
+
+for a given sequence of dimension sizes (row-major / lexicographic order,
+innermost dimension fastest).  Every LEGO block composes its reorderings
+through these bijections.
+
+The helpers here are *generic over the index type*: coordinates and sizes may
+be Python ints (concrete evaluation) or symbolic expressions from
+:mod:`repro.symbolic` (lowering to code) — anything supporting ``+ * // %``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["flatten_index", "unflatten_index", "product", "validate_index"]
+
+T = TypeVar("T")
+
+
+def product(sizes: Sequence) -> object:
+    """Product of a sequence of sizes (ints or symbolic expressions)."""
+    result = None
+    for size in sizes:
+        result = size if result is None else result * size
+    return 1 if result is None else result
+
+
+def flatten_index(index: Sequence, dims: Sequence) -> object:
+    """The canonical bijection ``B``: multi-dimensional index -> flat index.
+
+    ``B(i_1, ..., i_q) = i_1 * (n_2 * ... * n_q) + ... + i_{q-1} * n_q + i_q``.
+
+    Works for concrete integers and symbolic expressions alike.
+    """
+    if len(index) != len(dims):
+        raise ValueError(
+            f"index has {len(index)} coordinates but the space has {len(dims)} dimensions"
+        )
+    if not dims:
+        return 0
+    flat = index[0]
+    for coord, size in zip(index[1:], dims[1:]):
+        flat = flat * size + coord
+    return flat
+
+
+def unflatten_index(flat, dims: Sequence) -> tuple:
+    """The canonical bijection ``B^{-1}``: flat index -> multi-dimensional index.
+
+    Implemented exactly as in Figure 4 of the paper: peel dimensions from the
+    innermost outwards with ``%`` and ``//``.  Works for concrete integers and
+    symbolic expressions alike (symbolic results are *not* simplified here;
+    the code-generation pipeline simplifies them under its range assumptions).
+    """
+    if not dims:
+        return ()
+    coords = []
+    rest = flat
+    for size in reversed(dims[1:]):
+        coords.append(rest % size)
+        rest = rest // size
+    coords.append(rest)
+    return tuple(reversed(coords))
+
+
+def validate_index(index: Sequence, dims: Sequence) -> None:
+    """Raise ``IndexError`` when a *concrete* index is out of bounds.
+
+    Symbolic coordinates are skipped — their validity is established by the
+    range assumptions used during simplification.
+    """
+    if len(index) != len(dims):
+        raise ValueError(
+            f"index has {len(index)} coordinates but the space has {len(dims)} dimensions"
+        )
+    for axis, (coord, size) in enumerate(zip(index, dims)):
+        if isinstance(coord, int) and isinstance(size, int):
+            if coord < 0 or coord >= size:
+                raise IndexError(
+                    f"coordinate {coord} out of range for axis {axis} of extent {size}"
+                )

@@ -1,0 +1,134 @@
+"""``ExpandBy``: partial-tile support beyond bijective layouts (Figure 9).
+
+When the tile size does not evenly divide the problem size, the bijective
+layout ``G`` is defined over an *expanded* space whose sizes are rounded up
+to a multiple of the tile; ``ExpandBy`` performs the widening / narrowing
+conversions between the original physical space and the expanded one:
+
+* ``apply`` projects a logical index through ``G`` to a flat index in the
+  expanded layout, unflattens it, accepts it only if the coordinates fall
+  within the original extents and reports the flat position in the original
+  space (otherwise ``-1`` — the out-of-bounds marker used for masking);
+* ``inv`` lifts an original flat index into the expanded space and inverts
+  through ``G``.
+
+``apply_masked`` is the symbolic variant used by code generation: it returns
+the (unguarded) original-space offset together with the bounds predicate, so
+backends can emit a masked load/store (Triton ``mask=``, CUDA ``if``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..symbolic import BoolAnd, Cmp, Expr
+from .bijection import flatten_index, product, unflatten_index
+from .blocks import GroupBy
+
+__all__ = ["ExpandBy", "expanded_shape"]
+
+
+def expanded_shape(shape: Sequence[int], tile: Sequence[int]) -> tuple[int, ...]:
+    """Round every dimension of ``shape`` up to a multiple of ``tile``."""
+    if len(shape) != len(tile):
+        raise ValueError("shape and tile must have the same rank")
+    out = []
+    for size, t in zip(shape, tile):
+        if t <= 0:
+            raise ValueError(f"tile sizes must be positive, got {t}")
+        out.append(((size + t - 1) // t) * t)
+    return tuple(out)
+
+
+class ExpandBy:
+    """Partial-tile adapter around a bijective layout (paper Figure 9)."""
+
+    def __init__(self, original: Sequence, expanded: Sequence, layout: GroupBy):
+        self._original = tuple(original)
+        self._expanded = tuple(expanded)
+        self._layout = layout
+        if len(self._original) != len(self._expanded):
+            raise ValueError("original and expanded shapes must have the same rank")
+        for orig, exp in zip(self._original, self._expanded):
+            if isinstance(orig, int) and isinstance(exp, int) and exp < orig:
+                raise ValueError(
+                    f"expanded extent {exp} is smaller than the original extent {orig}"
+                )
+        if all(isinstance(d, int) for d in self._expanded) and isinstance(layout.size(), int):
+            if product(self._expanded) != layout.size():
+                raise ValueError(
+                    "the expanded space must have exactly as many elements as the layout: "
+                    f"{product(self._expanded)} != {layout.size()}"
+                )
+
+    @property
+    def layout(self) -> GroupBy:
+        return self._layout
+
+    def original_dims(self) -> tuple:
+        return self._original
+
+    def expanded_dims(self) -> tuple:
+        return self._expanded
+
+    def original_size(self):
+        return product(self._original)
+
+    # -- concrete interface -----------------------------------------------------
+
+    def apply(self, *index):
+        """Logical index -> original-space flat position, or ``-1`` if padded."""
+        if len(index) == 1 and isinstance(index[0], (list, tuple)):
+            index = tuple(index[0])
+        flat_expanded = self._layout.apply(*index)
+        coords = unflatten_index(flat_expanded, self._expanded)
+        for coord, extent in zip(coords, self._original):
+            if isinstance(coord, int) and isinstance(extent, int):
+                if coord >= extent:
+                    return -1
+            else:
+                raise TypeError(
+                    "ExpandBy.apply with symbolic coordinates cannot return -1; "
+                    "use apply_masked for symbolic lowering"
+                )
+        return flatten_index(coords, self._original)
+
+    def inv(self, flat):
+        """Original-space flat position -> logical index."""
+        coords = unflatten_index(flat, self._original)
+        flat_expanded = flatten_index(coords, self._expanded)
+        return self._layout.inv(flat_expanded)
+
+    # -- symbolic interface -----------------------------------------------------
+
+    def apply_masked(self, *index) -> tuple[object, object]:
+        """Symbolic variant of :meth:`apply`.
+
+        Returns ``(offset, in_bounds)`` where ``offset`` is the original-space
+        flat position (meaningful only where ``in_bounds`` holds) and
+        ``in_bounds`` is the conjunction of per-dimension bound checks.
+        """
+        if len(index) == 1 and isinstance(index[0], (list, tuple)):
+            index = tuple(index[0])
+        flat_expanded = self._layout.apply(*index)
+        coords = unflatten_index(flat_expanded, self._expanded)
+        guards = []
+        for coord, extent in zip(coords, self._original):
+            if isinstance(coord, int) and isinstance(extent, int):
+                if coord >= extent:
+                    guards.append(Cmp("<", coord, extent))
+            else:
+                guards.append(Cmp("<", coord, extent))
+        offset = flatten_index(coords, self._original)
+        if not guards:
+            in_bounds: object = Cmp("<=", 0, 0)
+        elif len(guards) == 1:
+            in_bounds = guards[0]
+        else:
+            in_bounds = BoolAnd(*guards)
+        return offset, in_bounds
+
+    def __repr__(self) -> str:
+        return (
+            f"ExpandBy({list(self._original)}, {list(self._expanded)}, {self._layout!r})"
+        )

@@ -1,0 +1,90 @@
+"""Injective (non-bijective) layouts: broadcasting and even mappings.
+
+Section III-D of the paper: "to accommodate injective layouts such as
+broadcasting ``(i, j) -> i`` or ``(i, j) -> j`` and even-mapping ``i -> 2i``,
+we restrict the language to exporting only ``apply`` (not ``inv``) and to
+using exactly one ``GroupBy`` followed by an ``OrderBy`` of the same shape,
+where that ``OrderBy`` contains a single ``GenP`` that may be injective."
+
+:class:`InjectiveLayout` enforces exactly that restriction; the module also
+provides factories for the three mappings the paper names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .bijection import product, validate_index
+
+__all__ = [
+    "InjectiveLayout",
+    "broadcast_rows",
+    "broadcast_cols",
+    "even_mapping",
+]
+
+
+class InjectiveLayout:
+    """A layout exporting only ``apply``: one ``GroupBy`` + one injective ``GenP``.
+
+    ``shape`` is the logical view and ``fn`` maps its coordinates to a flat
+    physical position; ``fn`` need not be surjective, so ``inv`` is not
+    available (calling it raises ``TypeError``).
+    """
+
+    def __init__(self, shape: Sequence, fn: Callable, name: str | None = None):
+        self._shape = tuple(shape)
+        if not self._shape:
+            raise ValueError("InjectiveLayout requires a non-empty logical shape")
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "injective")
+
+    def dims(self) -> tuple:
+        return self._shape
+
+    def size(self):
+        return product(self._shape)
+
+    def apply(self, *index):
+        if len(index) == 1 and isinstance(index[0], (list, tuple)):
+            index = tuple(index[0])
+        validate_index(index, self._shape)
+        return self._fn(*index)
+
+    def inv(self, flat):  # pragma: no cover - deliberate error path
+        raise TypeError(
+            "injective layouts export only apply(); inv() is undefined "
+            "(the mapping is not surjective)"
+        )
+
+    def check_injective(self) -> bool:
+        """Exhaustively verify injectivity for a concrete logical shape."""
+        from itertools import product as iproduct
+
+        if not all(isinstance(d, int) for d in self._shape):
+            raise TypeError("check_injective requires a concrete logical shape")
+        seen: dict[object, tuple] = {}
+        for coords in iproduct(*(range(d) for d in self._shape)):
+            value = self.apply(coords)
+            if value in seen and seen[value] != coords:
+                return False
+            seen[value] = coords
+        return True
+
+    def __repr__(self) -> str:
+        return f"InjectiveLayout({list(self._shape)}, {self.name})"
+
+
+def broadcast_rows(rows, cols) -> InjectiveLayout:
+    """The broadcast ``(i, j) -> i``: every column reads the same row vector."""
+    return InjectiveLayout((rows, cols), lambda i, j: i, name="broadcast_rows")
+
+
+def broadcast_cols(rows, cols) -> InjectiveLayout:
+    """The broadcast ``(i, j) -> j``: every row reads the same column vector."""
+    return InjectiveLayout((rows, cols), lambda i, j: j, name="broadcast_cols")
+
+
+def even_mapping(extent) -> InjectiveLayout:
+    """The even mapping ``i -> 2i`` (stride-2 injection)."""
+    return InjectiveLayout((extent,), lambda i: 2 * i, name="even_mapping")

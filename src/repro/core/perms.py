@@ -1,0 +1,196 @@
+"""Permutation blocks: ``RegP`` (regular) and ``GenP`` (general).
+
+These are the leaves of the LEGO grammar (Figure 3 of the paper).  Both
+expose the three-method interface used by the containing ``OrderBy``:
+
+* ``apply(index) -> flat``  — logical tile coordinates to the reordered flat
+  position within the tile,
+* ``inv(flat) -> index``    — the reverse mapping,
+* ``dims() -> shape``       — the logical tile shape.
+
+``RegP`` permutes *dimensions* of the tile by a statically known permutation
+``sigma`` (1-indexed, "gather" convention: the ``j``-th physical dimension is
+the ``sigma[j]``-th logical dimension).  ``GenP`` reorders *elements* of the
+tile by a pair of user-supplied functions implementing a bijection between
+the tile's coordinates and its flat space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .bijection import flatten_index, product, unflatten_index, validate_index
+
+__all__ = ["Perm", "RegP", "GenP", "identity_permutation", "invert_permutation", "apply_permutation"]
+
+
+def identity_permutation(rank: int) -> tuple[int, ...]:
+    """The identity permutation ``[1, 2, ..., rank]`` (1-indexed)."""
+    return tuple(range(1, rank + 1))
+
+
+def invert_permutation(sigma: Sequence[int]) -> tuple[int, ...]:
+    """Invert a 1-indexed permutation.
+
+    Following the paper: "``sigma^{-1}`` is obtained by scattering
+    ``[1, ..., d]`` at the positions of ``sigma``".
+    """
+    inverse = [0] * len(sigma)
+    for position, target in enumerate(sigma, start=1):
+        inverse[target - 1] = position
+    return tuple(inverse)
+
+
+def apply_permutation(seq: Sequence, sigma: Sequence[int]) -> tuple:
+    """Gather ``seq`` by a 1-indexed permutation: ``out[j] = seq[sigma[j] - 1]``."""
+    return tuple(seq[s - 1] for s in sigma)
+
+
+def _check_permutation(sigma: Sequence[int], rank: int) -> tuple[int, ...]:
+    sigma = tuple(int(s) for s in sigma)
+    if sorted(sigma) != list(range(1, rank + 1)):
+        raise ValueError(
+            f"{list(sigma)} is not a permutation of [1..{rank}] "
+            f"(tile has {rank} dimensions)"
+        )
+    return sigma
+
+
+class Perm:
+    """Base class of permutation blocks (the ``Prm`` nonterminal)."""
+
+    def apply(self, index: Sequence):
+        """Map logical tile coordinates to the reordered flat position."""
+        raise NotImplementedError
+
+    def inv(self, flat):
+        """Map a reordered flat position back to logical tile coordinates."""
+        raise NotImplementedError
+
+    def dims(self) -> tuple:
+        """The logical shape of the tile this permutation reorders."""
+        raise NotImplementedError
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims())
+
+    def size(self):
+        """Number of elements in the tile."""
+        return product(self.dims())
+
+
+class RegP(Perm):
+    """Regular permutation of tile *dimensions* by a constant permutation.
+
+    ``RegP(tile, sigma).apply(i) = B_{sigma(tile)}(sigma(i))`` and
+    ``inv(flat) = sigma^{-1}(B^{-1}_{sigma(tile)}(flat))`` — Figure 4 of the
+    paper.  ``sigma`` is 1-indexed.
+    """
+
+    def __init__(self, tile: Sequence, sigma: Sequence[int] | None = None):
+        self._tile = tuple(tile)
+        if not self._tile:
+            raise ValueError("RegP requires a non-empty tile shape")
+        if sigma is None:
+            sigma = identity_permutation(len(self._tile))
+        self._sigma = _check_permutation(sigma, len(self._tile))
+        self._sigma_inv = invert_permutation(self._sigma)
+
+    @property
+    def sigma(self) -> tuple[int, ...]:
+        return self._sigma
+
+    def dims(self) -> tuple:
+        return self._tile
+
+    def permuted_dims(self) -> tuple:
+        """The tile shape in physical (permuted) order."""
+        return apply_permutation(self._tile, self._sigma)
+
+    def apply(self, index: Sequence):
+        index = tuple(index)
+        validate_index(index, self._tile)
+        permuted_index = apply_permutation(index, self._sigma)
+        return flatten_index(permuted_index, self.permuted_dims())
+
+    def inv(self, flat):
+        permuted_index = unflatten_index(flat, self.permuted_dims())
+        return apply_permutation(permuted_index, self._sigma_inv)
+
+    def __repr__(self) -> str:
+        return f"RegP({list(self._tile)}, {list(self._sigma)})"
+
+
+class GenP(Perm):
+    """General (user-defined) permutation of tile *elements*.
+
+    ``fn`` maps tile coordinates to a flat position inside the tile and
+    ``fn_inv`` maps the flat position back; the user is responsible for these
+    being mutually inverse bijections (the paper leaves this as a user
+    obligation; :meth:`check_bijective` verifies it exhaustively for concrete
+    tiles and is used by the test-suite and by ``Layout.verify()``).
+
+    ``fn``/``fn_inv`` receive the coordinates / flat position as positional
+    arguments.  The optional ``name`` is used for display and codegen; the
+    optional ``c_source`` carries a C implementation emitted verbatim by the
+    CUDA backend (as for the paper's Figure 7 anti-diagonal functions).
+    """
+
+    def __init__(
+        self,
+        tile: Sequence,
+        fn: Callable,
+        fn_inv: Callable,
+        name: str | None = None,
+        c_source: str | None = None,
+    ):
+        self._tile = tuple(tile)
+        if not self._tile:
+            raise ValueError("GenP requires a non-empty tile shape")
+        self._fn = fn
+        self._fn_inv = fn_inv
+        self.name = name or getattr(fn, "__name__", "genp")
+        self.c_source = c_source
+
+    def dims(self) -> tuple:
+        return self._tile
+
+    def apply(self, index: Sequence):
+        index = tuple(index)
+        validate_index(index, self._tile)
+        return self._fn(*index)
+
+    def inv(self, flat):
+        result = self._fn_inv(flat)
+        if not isinstance(result, tuple):
+            result = (result,)
+        return result
+
+    def check_bijective(self) -> bool:
+        """Exhaustively verify that ``fn``/``fn_inv`` form a bijection.
+
+        Only valid for fully concrete tile shapes.
+        """
+        dims = self.dims()
+        if not all(isinstance(d, int) for d in dims):
+            raise TypeError("check_bijective requires a concrete tile shape")
+        total = 1
+        for d in dims:
+            total *= d
+        seen: set[int] = set()
+        from itertools import product as iproduct
+
+        for coords in iproduct(*(range(d) for d in dims)):
+            flat = self.apply(coords)
+            if not isinstance(flat, int) or flat < 0 or flat >= total:
+                return False
+            if flat in seen:
+                return False
+            seen.add(flat)
+            if tuple(self.inv(flat)) != coords:
+                return False
+        return len(seen) == total
+
+    def __repr__(self) -> str:
+        return f"GenP({list(self._tile)}, {self.name})"

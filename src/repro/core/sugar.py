@@ -1,0 +1,111 @@
+"""Syntactic sugar: ``Row``, ``Col``, ``TileBy``, ``TileOrderBy``.
+
+Section III-B of the paper defines convenience constructors on top of the
+core grammar.  ``Row`` and ``Col`` are row-/column-major orderings of a tile;
+``TileBy`` builds the familiar hierarchical (blocked) tiling in one call;
+``TileOrderBy`` additionally reorders each level with its own permutation.
+
+Note on ``Col``: the paper's sugar table writes ``Col([n1..nd]) ==
+RegP([nd..n1],[d..1])`` (tile shape *and* permutation both reversed), which
+would make the block's logical space the reversed shape.  This reproduction
+keeps the logical tile shape in logical order and only reverses the
+permutation — ``Col([n1..nd]) == RegP([n1..nd],[d..1])`` — which is the
+interpretation consistent with the paper's uses (``Col(K, N)`` for a
+column-major ``K x N`` operand, and the grouped thread-block layout of
+Figure 1 whose lowering must reproduce Figure 10).  The worked examples in
+the test-suite check this against the paper's generated code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .blocks import GroupBy, OrderBy
+from .perms import Perm, RegP
+
+__all__ = ["Row", "Col", "TileBy", "TileOrderBy", "interleave_sigma"]
+
+
+def _shape_from_args(args) -> tuple:
+    """Accept ``Row(M, K)`` and ``Row([M, K])`` alike."""
+    if len(args) == 1 and isinstance(args[0], (list, tuple)):
+        return tuple(args[0])
+    return tuple(args)
+
+
+def Row(*shape) -> RegP:  # noqa: N802 - paper spelling
+    """Row-major ordering of a tile: the identity permutation of dimensions."""
+    dims = _shape_from_args(shape)
+    return RegP(dims, list(range(1, len(dims) + 1)))
+
+
+def Col(*shape) -> RegP:  # noqa: N802 - paper spelling
+    """Column-major ordering of a tile: reverse the dimension order."""
+    dims = _shape_from_args(shape)
+    return RegP(dims, list(range(len(dims), 0, -1)))
+
+
+def interleave_sigma(rank: int, levels: int) -> list[int]:
+    """The ``sigma_{d x q}`` permutation of the paper's ``TileBy`` sugar.
+
+    For ``d``-dimensional tiles on ``q`` levels, the logical dimension order
+    is ``(level_1 dims..., level_2 dims..., ...)``; the permutation gathers
+    them by dimension: ``A[k][h] = k + 1 + d*h`` flattened row-by-row, e.g.
+    ``sigma_{2x3} = [1,3,5,2,4,6]`` and ``sigma_{3x2} = [1,4,2,5,3,6]``.
+    """
+    sigma: list[int] = []
+    for k in range(rank):
+        for h in range(levels):
+            sigma.append(k + 1 + rank * h)
+    return sigma
+
+
+def TileBy(*levels) -> GroupBy:  # noqa: N802 - paper spelling
+    """Hierarchical tiling of ``d`` dimensions on ``q`` levels.
+
+    ``TileBy([M//BM, K//BK], [BM, BK])`` is the 4-D logical space of block
+    coordinates and intra-block coordinates whose physical order interleaves
+    the levels per dimension, i.e. the classic blocked layout.  Returns a
+    :class:`GroupBy` so further ``.OrderBy`` calls can be chained.
+    """
+    if not levels:
+        raise ValueError("TileBy requires at least one tile level")
+    level_shapes = [tuple(level) if isinstance(level, (list, tuple)) else (level,) for level in levels]
+    rank = len(level_shapes[0])
+    for level in level_shapes:
+        if len(level) != rank:
+            raise ValueError(
+                "all TileBy levels must share the same dimensionality; "
+                f"got {[len(l) for l in level_shapes]}"
+            )
+    flat_shape: list = []
+    for level in level_shapes:
+        flat_shape.extend(level)
+    sigma = interleave_sigma(rank, len(level_shapes))
+    return GroupBy(flat_shape).OrderBy(RegP(flat_shape, sigma))
+
+
+def TileOrderBy(*perms: Perm) -> GroupBy:  # noqa: N802 - paper spelling
+    """Hierarchical-tiling reordering with a per-level permutation.
+
+    Each argument is a permutation block describing one tile level; the
+    resulting layout first reorders every level by its own permutation and
+    then interleaves the levels per dimension exactly like :func:`TileBy`.
+    """
+    if not perms:
+        raise ValueError("TileOrderBy requires at least one permutation block")
+    rank = perms[0].rank
+    for perm in perms:
+        if perm.rank != rank:
+            raise ValueError("all TileOrderBy levels must share the same dimensionality")
+    flat_shape: list = []
+    permuted_shape: list = []
+    for perm in perms:
+        flat_shape.extend(perm.dims())
+        if isinstance(perm, RegP):
+            permuted_shape.extend(perm.permuted_dims())
+        else:
+            permuted_shape.extend(perm.dims())
+    sigma = interleave_sigma(rank, len(perms))
+    layout = GroupBy(flat_shape).OrderBy(OrderBy(*perms))
+    return layout.OrderBy(RegP(permuted_shape, sigma))

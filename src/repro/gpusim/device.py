@@ -1,0 +1,118 @@
+"""GPU device descriptions for the analytic performance model.
+
+The paper's evaluation runs on an NVIDIA A100-80GB.  Since this reproduction
+has no GPU, kernel performance is estimated with an analytic
+roofline-with-overheads model (:mod:`repro.gpusim.kernelmodel`) parameterised
+by the device description below.  Absolute numbers are not expected to match
+the paper's measurements; the model only has to preserve *relative* behaviour
+(which layout wins, by roughly what factor, and where problem-size crossovers
+fall), which is determined by ratios of the quantities recorded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100_80GB", "bytes_per_element"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capability summary of one GPU."""
+
+    name: str
+    #: streaming multiprocessors
+    num_sms: int
+    #: SM clock in GHz
+    clock_ghz: float
+    #: DRAM bandwidth in GB/s
+    dram_bandwidth_gbs: float
+    #: L2 bandwidth in GB/s (aggregate)
+    l2_bandwidth_gbs: float
+    #: L2 capacity in bytes
+    l2_capacity_bytes: int
+    #: shared memory per SM in bytes
+    smem_per_sm_bytes: int
+    #: shared-memory banks
+    smem_banks: int
+    #: shared-memory bandwidth per SM in bytes/cycle (32 banks * 4B)
+    smem_bytes_per_cycle_per_sm: int
+    #: peak FP32 throughput (FMA counted as 2 flops) in GFLOP/s
+    fp32_gflops: float
+    #: peak FP16 tensor-core throughput in GFLOP/s
+    fp16_tensor_gflops: float
+    #: peak FP64 throughput in GFLOP/s
+    fp64_gflops: float
+    #: peak INT32 throughput in GOP/s
+    int32_gops: float
+    #: maximum resident threads per SM
+    max_threads_per_sm: int
+    #: warp size
+    warp_size: int
+    #: kernel launch overhead in microseconds
+    launch_overhead_us: float
+    #: DRAM access granularity (sector) in bytes
+    dram_sector_bytes: int = 32
+    #: cache line size in bytes
+    cache_line_bytes: int = 128
+
+    @property
+    def smem_bandwidth_gbs(self) -> float:
+        """Aggregate shared-memory bandwidth across all SMs in GB/s."""
+        return self.smem_bytes_per_cycle_per_sm * self.num_sms * self.clock_ghz
+
+    def peak_flops(self, dtype: str = "fp32", tensor_core: bool = False) -> float:
+        """Peak arithmetic throughput in GFLOP/s for the given precision."""
+        if tensor_core and dtype in ("fp16", "bf16"):
+            return self.fp16_tensor_gflops
+        if dtype in ("fp16", "bf16"):
+            return self.fp32_gflops * 2
+        if dtype == "fp64":
+            return self.fp64_gflops
+        if dtype in ("int32", "int"):
+            return self.int32_gops
+        return self.fp32_gflops
+
+
+#: The paper's evaluation platform: NVIDIA A100-SXM4-80GB (GA100).
+A100_80GB = DeviceSpec(
+    name="NVIDIA A100 80GB",
+    num_sms=108,
+    clock_ghz=1.41,
+    dram_bandwidth_gbs=2039.0,
+    l2_bandwidth_gbs=4800.0,
+    l2_capacity_bytes=40 * 1024 * 1024,
+    smem_per_sm_bytes=164 * 1024,
+    smem_banks=32,
+    smem_bytes_per_cycle_per_sm=128,
+    fp32_gflops=19_500.0,
+    fp16_tensor_gflops=312_000.0,
+    fp64_gflops=9_700.0,
+    int32_gops=19_500.0,
+    max_threads_per_sm=2048,
+    warp_size=32,
+    launch_overhead_us=5.0,
+)
+
+
+_DTYPE_BYTES = {
+    "fp16": 2,
+    "bf16": 2,
+    "fp32": 4,
+    "float32": 4,
+    "float16": 2,
+    "fp64": 8,
+    "float64": 8,
+    "int32": 4,
+    "int64": 8,
+    "int8": 1,
+    "uint8": 1,
+}
+
+
+def bytes_per_element(dtype: str) -> int:
+    """Size in bytes of one element of the named dtype."""
+    try:
+        return _DTYPE_BYTES[dtype]
+    except KeyError as exc:
+        raise ValueError(f"unknown dtype {dtype!r}") from exc

@@ -1,0 +1,102 @@
+"""Global-memory transaction and coalescing model.
+
+Global memory on NVIDIA GPUs is accessed in 32-byte sectors; a warp's load or
+store is serviced by as many sector transactions as the warp's addresses
+touch.  The functions here compute, from a set of per-lane byte addresses,
+
+* the number of sector transactions (:func:`warp_transactions`),
+* the coalescing efficiency — useful bytes / transferred bytes
+  (:func:`coalescing_efficiency`),
+* aggregate traffic for strided/blocked access patterns described
+  analytically (:func:`strided_traffic`), which lets the stencil and
+  transpose benchmarks reason about entire arrays without enumerating every
+  thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .device import DeviceSpec
+
+__all__ = [
+    "warp_transactions",
+    "coalescing_efficiency",
+    "AccessPattern",
+    "strided_traffic",
+]
+
+
+def warp_transactions(byte_addresses: Sequence[int], sector_bytes: int = 32) -> int:
+    """Number of memory sectors touched by one warp access."""
+    addresses = np.asarray(byte_addresses, dtype=np.int64)
+    if addresses.size == 0:
+        return 0
+    sectors = np.unique(addresses // sector_bytes)
+    return int(sectors.size)
+
+
+def coalescing_efficiency(
+    byte_addresses: Sequence[int],
+    element_bytes: int,
+    sector_bytes: int = 32,
+) -> float:
+    """Useful bytes divided by bytes actually moved for one warp access."""
+    addresses = np.asarray(byte_addresses, dtype=np.int64)
+    if addresses.size == 0:
+        return 1.0
+    useful = addresses.size * element_bytes
+    sectors = np.unique(
+        np.concatenate([(addresses + off) // sector_bytes for off in range(0, element_bytes, 1)])
+    )
+    moved = sectors.size * sector_bytes
+    return float(useful) / float(moved)
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """An analytic description of how one array is traversed by a kernel.
+
+    ``contiguous_run`` is the number of consecutive elements accessed together
+    (per warp / per innermost loop); ``run_stride`` is the element distance
+    between consecutive runs; ``num_runs`` the number of runs over the whole
+    kernel; ``element_bytes`` the element size.  From these the model derives
+    how many bytes DRAM actually has to move, accounting for partially used
+    sectors.
+    """
+
+    contiguous_run: int
+    run_stride: int
+    num_runs: int
+    element_bytes: int
+
+    def useful_bytes(self) -> int:
+        return self.contiguous_run * self.num_runs * self.element_bytes
+
+    def moved_bytes(self, sector_bytes: int = 32) -> int:
+        """Bytes transferred from DRAM including partially used sectors."""
+        run_bytes = self.contiguous_run * self.element_bytes
+        # Each run touches ceil(run_bytes / sector) sectors, plus possibly one
+        # extra for misalignment when runs are strided apart.
+        sectors_per_run = (run_bytes + sector_bytes - 1) // sector_bytes
+        if self.run_stride * self.element_bytes % sector_bytes != 0 and self.contiguous_run > 1:
+            sectors_per_run += 1
+        return sectors_per_run * sector_bytes * self.num_runs
+
+
+def strided_traffic(patterns: Iterable[AccessPattern], device: DeviceSpec) -> dict[str, float]:
+    """Aggregate DRAM traffic summary for a collection of access patterns."""
+    useful = 0
+    moved = 0
+    for pattern in patterns:
+        useful += pattern.useful_bytes()
+        moved += pattern.moved_bytes(device.dram_sector_bytes)
+    efficiency = (useful / moved) if moved else 1.0
+    return {
+        "useful_bytes": float(useful),
+        "moved_bytes": float(moved),
+        "efficiency": float(efficiency),
+    }

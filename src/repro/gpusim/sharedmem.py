@@ -1,0 +1,87 @@
+"""Shared-memory bank-conflict model.
+
+Shared memory on NVIDIA GPUs is divided into 32 four-byte banks; a warp
+access that maps several lanes to different words of the same bank is
+serialised into that many conflict-free passes.  The NW benchmark's speedup
+in the paper comes entirely from removing such conflicts by changing the
+shared buffer's layout to anti-diagonal order, so this model is the heart of
+the Figure 12a reproduction.
+
+``warp_conflict_degree`` computes the serialisation factor of a single warp
+access from the per-lane *element* indices into the shared buffer;
+``access_conflict_profile`` aggregates a whole kernel phase.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["warp_conflict_degree", "ConflictProfile", "access_conflict_profile"]
+
+
+def warp_conflict_degree(
+    element_indices: Sequence[int],
+    element_bytes: int = 4,
+    num_banks: int = 32,
+    bank_bytes: int = 4,
+) -> int:
+    """Serialisation factor (>= 1) of one warp's shared-memory access.
+
+    ``element_indices`` are the per-lane indices into the shared buffer
+    (inactive lanes omitted).  Lanes hitting the *same word* broadcast and do
+    not conflict; lanes hitting different words in the same bank serialise.
+    """
+    if len(element_indices) == 0:
+        return 1
+    words = np.asarray(element_indices, dtype=np.int64) * element_bytes // bank_bytes
+    unique_words = np.unique(words)
+    banks = unique_words % num_banks
+    counts = Counter(banks.tolist())
+    return max(counts.values())
+
+
+@dataclass
+class ConflictProfile:
+    """Aggregated bank-conflict statistics for a sequence of warp accesses."""
+
+    accesses: int = 0
+    total_passes: int = 0
+    worst_degree: int = 1
+    histogram: Counter = field(default_factory=Counter)
+
+    @property
+    def average_degree(self) -> float:
+        if self.accesses == 0:
+            return 1.0
+        return self.total_passes / self.accesses
+
+    def record(self, degree: int) -> None:
+        self.accesses += 1
+        self.total_passes += degree
+        self.worst_degree = max(self.worst_degree, degree)
+        self.histogram[degree] += 1
+
+    def merge(self, other: "ConflictProfile") -> "ConflictProfile":
+        merged = ConflictProfile(
+            accesses=self.accesses + other.accesses,
+            total_passes=self.total_passes + other.total_passes,
+            worst_degree=max(self.worst_degree, other.worst_degree),
+        )
+        merged.histogram = self.histogram + other.histogram
+        return merged
+
+
+def access_conflict_profile(
+    warp_accesses: Iterable[Sequence[int]],
+    element_bytes: int = 4,
+    num_banks: int = 32,
+) -> ConflictProfile:
+    """Profile a sequence of warp accesses (each a list of per-lane element indices)."""
+    profile = ConflictProfile()
+    for access in warp_accesses:
+        profile.record(warp_conflict_degree(access, element_bytes, num_banks))
+    return profile

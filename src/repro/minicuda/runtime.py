@@ -1,0 +1,222 @@
+"""Block/thread execution model for the mini-CUDA substrate.
+
+A kernel is an ordinary Python function ``kernel(ctx, *args)`` receiving a
+:class:`BlockContext` for one thread block.  Inside the kernel all threads of
+the block are represented *vectorised*: ``ctx.tx`` / ``ctx.ty`` / ``ctx.tz``
+are NumPy arrays with one entry per thread, and shared/global accesses take
+such per-thread index arrays.  This mirrors how a warp-synchronous CUDA
+kernel reads on paper while keeping the Python interpreter overhead per block
+(not per thread).
+
+:func:`launch` runs the kernel over a grid of blocks (optionally a sample of
+them, scaling the recorded counters) and returns a :class:`CudaTrace` with
+the accumulated global-memory traffic and shared-memory conflict profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..gpusim.sharedmem import ConflictProfile
+
+__all__ = ["Dim3", "BlockContext", "CudaTrace", "launch"]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA ``dim3``: up to three extents, missing ones default to 1."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    @staticmethod
+    def of(value) -> "Dim3":
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return Dim3(value)
+        parts = tuple(int(v) for v in value)
+        while len(parts) < 3:
+            parts = parts + (1,)
+        return Dim3(*parts[:3])
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+    def __iter__(self):
+        return iter((self.x, self.y, self.z))
+
+
+@dataclass
+class CudaTrace:
+    """Counters accumulated over one launch (scaled to the full grid)."""
+
+    #: global memory
+    load_elements: float = 0.0
+    store_elements: float = 0.0
+    load_bytes: float = 0.0
+    store_bytes: float = 0.0
+    load_transactions: float = 0.0
+    store_transactions: float = 0.0
+    #: shared memory
+    smem_load_bytes: float = 0.0
+    smem_store_bytes: float = 0.0
+    smem_profile: ConflictProfile = field(default_factory=ConflictProfile)
+    #: arithmetic
+    flops: float = 0.0
+    #: launch geometry
+    blocks: int = 0
+    threads_per_block: int = 0
+    executed_blocks: int = 0
+    smem_per_block: int = 0
+    scale: float = 1.0
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.load_bytes + self.store_bytes
+
+    @property
+    def smem_bytes(self) -> float:
+        return self.smem_load_bytes + self.smem_store_bytes
+
+    @property
+    def bank_conflict_factor(self) -> float:
+        return self.smem_profile.average_degree
+
+    def scaled(self) -> "CudaTrace":
+        """Return a copy with all extensive counters scaled to the full grid."""
+        out = CudaTrace(
+            load_elements=self.load_elements * self.scale,
+            store_elements=self.store_elements * self.scale,
+            load_bytes=self.load_bytes * self.scale,
+            store_bytes=self.store_bytes * self.scale,
+            load_transactions=self.load_transactions * self.scale,
+            store_transactions=self.store_transactions * self.scale,
+            smem_load_bytes=self.smem_load_bytes * self.scale,
+            smem_store_bytes=self.smem_store_bytes * self.scale,
+            flops=self.flops * self.scale,
+            blocks=self.blocks,
+            threads_per_block=self.threads_per_block,
+            executed_blocks=self.executed_blocks,
+            smem_per_block=self.smem_per_block,
+            scale=1.0,
+        )
+        out.smem_profile = self.smem_profile
+        return out
+
+
+class BlockContext:
+    """Execution context of one thread block (all threads vectorised).
+
+    ``tx`` / ``ty`` / ``tz`` are ``int64`` arrays of length ``blockDim.count``
+    holding each thread's coordinates; ``thread_linear`` is the linear thread
+    id used to group threads into warps for conflict/coalescing accounting.
+    """
+
+    def __init__(self, block_idx: Dim3, block_dim: Dim3, grid_dim: Dim3, trace: CudaTrace | None):
+        self.blockIdx = block_idx
+        self.blockDim = block_dim
+        self.gridDim = grid_dim
+        self.trace = trace
+        count = block_dim.count
+        linear = np.arange(count, dtype=np.int64)
+        self.thread_linear = linear
+        self.tx = linear % block_dim.x
+        self.ty = (linear // block_dim.x) % block_dim.y
+        self.tz = linear // (block_dim.x * block_dim.y)
+        self._shared: list = []
+
+    # -- CUDA-style queries -----------------------------------------------------
+
+    @property
+    def num_threads(self) -> int:
+        return self.blockDim.count
+
+    def syncthreads(self) -> None:
+        """Barrier: a no-op because threads execute in lockstep here."""
+
+    # -- shared memory ------------------------------------------------------------
+
+    def shared_array(self, shape: Sequence[int], dtype=np.float32, layout=None, name: str = "smem"):
+        """Allocate a shared-memory array for this block (see :class:`SharedArray`)."""
+        from .smem import SharedArray
+
+        array = SharedArray(shape, dtype=dtype, layout=layout, name=name, context=self)
+        self._shared.append(array)
+        return array
+
+    def smem_bytes_allocated(self) -> int:
+        return int(sum(a.nbytes for a in self._shared))
+
+    # -- arithmetic accounting ------------------------------------------------------
+
+    def count_flops(self, flops: float) -> None:
+        if self.trace is not None:
+            self.trace.flops += float(flops)
+
+    # -- warp helpers ---------------------------------------------------------------
+
+    def iter_warps(self, active: np.ndarray | None = None, warp_size: int = 32):
+        """Yield per-warp boolean masks over the block's threads."""
+        count = self.num_threads
+        for start in range(0, count, warp_size):
+            mask = np.zeros(count, dtype=bool)
+            mask[start : start + warp_size] = True
+            if active is not None:
+                mask &= active
+            if mask.any():
+                yield mask
+
+
+def launch(
+    kernel: Callable,
+    grid,
+    block,
+    args: Sequence = (),
+    trace: bool = True,
+    sample_blocks: int | None = None,
+) -> CudaTrace:
+    """Run ``kernel`` over ``grid`` x ``block`` threads.
+
+    ``kernel`` is called once per thread block as ``kernel(ctx, *args)``.
+    With ``sample_blocks=N`` only ``N`` evenly spaced blocks execute and the
+    returned trace is scaled to the full grid (use sampling for performance
+    estimation only — results written to global arrays are then partial).
+    """
+    grid = Dim3.of(grid)
+    block = Dim3.of(block)
+    total_blocks = grid.count
+    run_trace = CudaTrace() if trace else None
+
+    if sample_blocks is None or sample_blocks >= total_blocks:
+        block_ids = range(total_blocks)
+        scale = 1.0
+    else:
+        if sample_blocks <= 0:
+            raise ValueError("sample_blocks must be positive")
+        step = total_blocks / sample_blocks
+        block_ids = sorted({int(i * step) for i in range(sample_blocks)})
+        scale = total_blocks / len(block_ids)
+
+    max_smem = 0
+    for flat in block_ids:
+        bx = flat % grid.x
+        by = (flat // grid.x) % grid.y
+        bz = flat // (grid.x * grid.y)
+        ctx = BlockContext(Dim3(bx, by, bz), block, grid, run_trace)
+        kernel(ctx, *args)
+        max_smem = max(max_smem, ctx.smem_bytes_allocated())
+
+    if run_trace is None:
+        run_trace = CudaTrace()
+    run_trace.blocks = total_blocks
+    run_trace.threads_per_block = block.count
+    run_trace.executed_blocks = len(list(block_ids))
+    run_trace.smem_per_block = max_smem
+    run_trace.scale = scale
+    return run_trace.scaled()

@@ -1,0 +1,231 @@
+"""Shared- and global-memory arrays with layout redirection and accounting.
+
+``SharedArray`` is the reproduction of the paper's NW integration style: the
+kernel keeps addressing the buffer with its *logical* multi-dimensional
+indices, and the array redirects each access through a LEGO layout's
+``apply`` bijection (the CUDA wrapper-class trick of Section V-B).  Every
+warp's access is scored for bank conflicts against the 32-bank model, which
+is exactly the effect the anti-diagonal layout removes.
+
+``GlobalArray`` wraps a flat NumPy buffer and records per-warp sector
+transactions for coalescing analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.bijection import flatten_index
+from ..gpusim.sharedmem import warp_conflict_degree
+
+__all__ = ["SharedArray", "GlobalArray"]
+
+
+def _layout_table(layout, shape: tuple[int, ...]) -> np.ndarray | None:
+    """Precompute ``logical flat -> physical flat`` for a concrete layout."""
+    if layout is None:
+        return None
+    table = layout.permutation_vector()
+    expected = 1
+    for extent in shape:
+        expected *= extent
+    if table.size != expected:
+        raise ValueError(
+            f"layout maps {table.size} elements but the array has {expected}"
+        )
+    return table
+
+
+class SharedArray:
+    """A shared-memory array addressed by logical indices through a layout.
+
+    ``shape`` is the logical shape the kernel indexes with; ``layout`` (a
+    concrete :class:`repro.core.GroupBy`, or ``None`` for row-major) maps the
+    logical index to the physical word the element lives in.  Accesses take
+    per-thread NumPy index arrays; each access is split into warps and its
+    bank-conflict degree recorded into the launch trace.
+    """
+
+    def __init__(self, shape: Sequence[int], dtype=np.float32, layout=None, name: str = "smem", context=None):
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.name = name
+        self.layout = layout
+        self._table = _layout_table(layout, self.shape)
+        size = 1
+        for extent in self.shape:
+            size *= extent
+        self.data = np.zeros(size, dtype=self.dtype)
+        self._context = context
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    # -- index handling -----------------------------------------------------------
+
+    def _physical(self, indices: tuple) -> np.ndarray:
+        """Map per-thread logical indices to physical element offsets."""
+        if len(indices) != len(self.shape):
+            raise ValueError(
+                f"{self.name} has {len(self.shape)} logical dimensions, got {len(indices)} indices"
+            )
+        arrays = [np.asarray(idx, dtype=np.int64) for idx in indices]
+        arrays = np.broadcast_arrays(*arrays)
+        for axis, (arr, extent) in enumerate(zip(arrays, self.shape)):
+            if arr.size and (arr.min() < 0 or arr.max() >= extent):
+                raise IndexError(
+                    f"{self.name}: axis {axis} index out of range [0, {extent}) "
+                    f"(got [{arr.min()}, {arr.max()}])"
+                )
+        logical_flat = np.asarray(flatten_index(arrays, self.shape), dtype=np.int64)
+        if self._table is None:
+            return logical_flat
+        return self._table[logical_flat]
+
+    def _record(self, physical: np.ndarray, is_store: bool) -> None:
+        ctx = self._context
+        if ctx is None or ctx.trace is None:
+            return
+        trace = ctx.trace
+        flat = physical.reshape(-1)
+        nbytes = float(flat.size) * self.dtype.itemsize
+        if is_store:
+            trace.smem_store_bytes += nbytes
+        else:
+            trace.smem_load_bytes += nbytes
+        # Score bank conflicts warp by warp over the block's thread order.
+        warp_size = 32
+        for start in range(0, flat.size, warp_size):
+            lane_indices = flat[start : start + warp_size]
+            degree = warp_conflict_degree(lane_indices, element_bytes=self.dtype.itemsize)
+            trace.smem_profile.record(degree)
+
+    # -- accesses -----------------------------------------------------------------
+
+    def load(self, *indices) -> np.ndarray:
+        physical = self._physical(indices)
+        self._record(physical, is_store=False)
+        return self.data[physical]
+
+    def store(self, value, *indices) -> None:
+        physical = self._physical(indices)
+        self._record(physical, is_store=True)
+        self.data[physical] = np.broadcast_to(np.asarray(value, dtype=self.dtype), physical.shape)
+
+    # ``buf[i, j]`` sugar used by the ported Rodinia kernels
+    def __getitem__(self, indices):
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return self.load(*indices)
+
+    def __setitem__(self, indices, value):
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        self.store(value, *indices)
+
+    def to_numpy(self) -> np.ndarray:
+        """The logical-view contents (undoing the layout), as a dense array."""
+        if self._table is None:
+            return self.data.reshape(self.shape).copy()
+        logical = np.empty_like(self.data)
+        logical[np.arange(self.data.size)] = self.data[self._table]
+        return logical.reshape(self.shape)
+
+    def __repr__(self) -> str:
+        layout_name = "row-major" if self.layout is None else repr(self.layout)
+        return f"SharedArray({self.name}, shape={self.shape}, layout={layout_name})"
+
+
+class GlobalArray:
+    """A global-memory array with per-warp sector-transaction accounting.
+
+    ``layout`` (optional, concrete) redirects logical indices to physical
+    positions exactly as for :class:`SharedArray` — this is how the brick
+    data layout is applied to the stencil grids without touching kernel code.
+    """
+
+    def __init__(self, array: np.ndarray, layout=None, name: str = "gmem", sector_bytes: int = 32):
+        array = np.asarray(array)
+        self.shape = array.shape
+        self.dtype = array.dtype
+        self.name = name
+        self.layout = layout
+        self.sector_bytes = sector_bytes
+        self._table = _layout_table(layout, tuple(int(s) for s in array.shape))
+        logical_flat = np.ascontiguousarray(array).reshape(-1).copy()
+        if self._table is None:
+            self.data = logical_flat
+        else:
+            # scatter the logical contents into their physical positions
+            self.data = np.empty_like(logical_flat)
+            self.data[self._table] = logical_flat
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def _physical(self, indices: tuple) -> np.ndarray:
+        if len(indices) != len(self.shape):
+            raise ValueError(
+                f"{self.name} has {len(self.shape)} logical dimensions, got {len(indices)} indices"
+            )
+        arrays = [np.asarray(idx, dtype=np.int64) for idx in indices]
+        arrays = np.broadcast_arrays(*arrays)
+        for axis, (arr, extent) in enumerate(zip(arrays, self.shape)):
+            if arr.size and (arr.min() < 0 or arr.max() >= extent):
+                raise IndexError(
+                    f"{self.name}: axis {axis} index out of range [0, {extent}) "
+                    f"(got [{arr.min()}, {arr.max()}])"
+                )
+        logical_flat = np.asarray(flatten_index(arrays, self.shape), dtype=np.int64)
+        if self._table is None:
+            return logical_flat
+        return self._table[logical_flat]
+
+    def _record(self, ctx, physical: np.ndarray, is_store: bool) -> None:
+        if ctx is None or ctx.trace is None:
+            return
+        trace = ctx.trace
+        flat = physical.reshape(-1)
+        element_bytes = self.dtype.itemsize
+        count = float(flat.size)
+        # count sector transactions warp by warp
+        transactions = 0
+        warp_size = 32
+        byte_addresses = flat * element_bytes
+        for start in range(0, flat.size, warp_size):
+            sectors = np.unique(byte_addresses[start : start + warp_size] // self.sector_bytes)
+            transactions += int(sectors.size)
+        if is_store:
+            trace.store_elements += count
+            trace.store_bytes += count * element_bytes
+            trace.store_transactions += transactions
+        else:
+            trace.load_elements += count
+            trace.load_bytes += count * element_bytes
+            trace.load_transactions += transactions
+
+    def load(self, ctx, *indices) -> np.ndarray:
+        physical = self._physical(indices)
+        self._record(ctx, physical, is_store=False)
+        return self.data[physical]
+
+    def store(self, ctx, value, *indices) -> None:
+        physical = self._physical(indices)
+        self._record(ctx, physical, is_store=True)
+        self.data[physical] = np.broadcast_to(np.asarray(value, dtype=self.dtype), physical.shape)
+
+    def to_numpy(self) -> np.ndarray:
+        """The logical-view contents (undoing the layout), as a dense array."""
+        if self._table is None:
+            return self.data.reshape(self.shape).copy()
+        logical = np.empty_like(self.data)
+        logical[np.arange(self.data.size)] = self.data[self._table]
+        return logical.reshape(self.shape)
+
+    def __repr__(self) -> str:
+        layout_name = "row-major" if self.layout is None else repr(self.layout)
+        return f"GlobalArray({self.name}, shape={self.shape}, layout={layout_name})"

@@ -1,0 +1,46 @@
+"""Convert mini-CUDA launch traces into analytic kernel costs."""
+
+from __future__ import annotations
+
+from ..gpusim.kernelmodel import KernelCost
+from .runtime import CudaTrace
+
+__all__ = ["trace_to_cost"]
+
+
+def trace_to_cost(
+    trace: CudaTrace,
+    name: str = "kernel",
+    dtype: str = "fp32",
+    tensor_core: bool = False,
+    compute_efficiency: float = 0.85,
+    dram_efficiency: float = 0.85,
+    launches: int = 1,
+) -> KernelCost:
+    """Summarise a :class:`CudaTrace` as a :class:`KernelCost`.
+
+    DRAM bytes are taken from the *transaction* counts (sectors actually
+    moved), not the useful element counts, so poorly coalesced kernels are
+    charged for the full sectors they touch; shared-memory traffic carries the
+    measured average bank-conflict serialisation factor.
+    """
+    sector_bytes = 32.0
+    moved_bytes = (trace.load_transactions + trace.store_transactions) * sector_bytes
+    useful_bytes = trace.load_bytes + trace.store_bytes
+    dram_bytes = max(moved_bytes, useful_bytes)
+    return KernelCost(
+        name=name,
+        flops=trace.flops,
+        dtype=dtype,
+        tensor_core=tensor_core,
+        dram_bytes=dram_bytes,
+        smem_bytes=trace.smem_bytes,
+        bank_conflict_factor=trace.bank_conflict_factor,
+        threads=float(trace.blocks * trace.threads_per_block),
+        blocks=float(trace.blocks),
+        threads_per_block=float(trace.threads_per_block),
+        smem_per_block=float(trace.smem_per_block),
+        compute_efficiency=compute_efficiency,
+        dram_efficiency=dram_efficiency,
+        launches=launches,
+    )

@@ -1,0 +1,185 @@
+"""Core IR objects: modules, functions, blocks, operations, SSA values.
+
+The structure follows MLIR closely enough that the printer's output reads as
+MLIR and the verifier can enforce the usual SSA rules:
+
+* a :class:`Module` holds a list of :class:`FuncOp`;
+* a :class:`FuncOp` (``func.func`` or ``gpu.func``) has typed block arguments
+  and a single :class:`Block` body (the subset we emit never branches);
+* a :class:`Operation` has a dialect-qualified name, operand values, result
+  values, attributes, and optionally nested regions (used by ``scf.for``);
+* :class:`OpBuilder` appends operations to a block and hands out fresh SSA
+  names.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .types import Type
+
+__all__ = ["Value", "Operation", "Block", "Region", "FuncOp", "Module", "OpBuilder"]
+
+
+@dataclass(eq=False)
+class Value:
+    """An SSA value: a name, a type and the operation (or block) defining it."""
+
+    name: str
+    type: Type
+    defining_op: Optional["Operation"] = None
+    is_block_arg: bool = False
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"%{self.name}: {self.type}"
+
+
+@dataclass(eq=False)
+class Operation:
+    """One operation: ``results = name(operands) {attributes}``."""
+
+    name: str
+    operands: list[Value] = field(default_factory=list)
+    results: list[Value] = field(default_factory=list)
+    attributes: dict[str, object] = field(default_factory=dict)
+    regions: list["Region"] = field(default_factory=list)
+
+    @property
+    def result(self) -> Value:
+        if len(self.results) != 1:
+            raise ValueError(f"operation {self.name} has {len(self.results)} results")
+        return self.results[0]
+
+    def __repr__(self) -> str:
+        results = ", ".join(str(r) for r in self.results)
+        operands = ", ".join(str(o) for o in self.operands)
+        prefix = f"{results} = " if results else ""
+        return f"{prefix}{self.name}({operands})"
+
+
+@dataclass(eq=False)
+class Block:
+    """A straight-line block of operations with typed arguments."""
+
+    arguments: list[Value] = field(default_factory=list)
+    operations: list[Operation] = field(default_factory=list)
+
+    def add_argument(self, name: str, type: Type) -> Value:
+        value = Value(name=name, type=type, is_block_arg=True)
+        self.arguments.append(value)
+        return value
+
+    def append(self, op: Operation) -> Operation:
+        self.operations.append(op)
+        return op
+
+    def __iter__(self):
+        return iter(self.operations)
+
+
+@dataclass(eq=False)
+class Region:
+    """A region: a list of blocks (we only ever use single-block regions)."""
+
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def entry(self) -> Block:
+        if not self.blocks:
+            self.blocks.append(Block())
+        return self.blocks[0]
+
+
+@dataclass(eq=False)
+class FuncOp:
+    """A function-like operation (``func.func`` or ``gpu.func``)."""
+
+    name: str
+    arguments: list[Value] = field(default_factory=list)
+    result_types: list[Type] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+    kind: str = "func.func"  # or "gpu.func"
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def argument(self, index: int) -> Value:
+        return self.arguments[index]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.arguments)
+        return f"{self.kind} @{self.name}({args})"
+
+
+@dataclass(eq=False)
+class Module:
+    """A top-level module holding functions and module-level attributes."""
+
+    functions: list[FuncOp] = field(default_factory=list)
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def add_function(self, func: FuncOp) -> FuncOp:
+        self.functions.append(func)
+        return func
+
+    def get_function(self, name: str) -> FuncOp:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r} in module")
+
+    def __iter__(self):
+        return iter(self.functions)
+
+
+class OpBuilder:
+    """Appends operations to a block and manages SSA value names."""
+
+    def __init__(self, block: Block, name_prefix: str = "v"):
+        self.block = block
+        self._prefix = name_prefix
+        self._counter = itertools.count()
+        self._constants: dict[tuple, Value] = {}
+
+    def fresh_name(self, hint: str | None = None) -> str:
+        return f"{hint or self._prefix}{next(self._counter)}"
+
+    def insert(
+        self,
+        name: str,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[Type] = (),
+        attributes: Mapping[str, object] | None = None,
+        regions: Iterable[Region] = (),
+        result_hint: str | None = None,
+    ) -> Operation:
+        """Create an operation, append it to the block and return it."""
+        op = Operation(
+            name=name,
+            operands=list(operands),
+            attributes=dict(attributes or {}),
+            regions=list(regions),
+        )
+        for result_type in result_types:
+            value = Value(name=self.fresh_name(result_hint), type=result_type, defining_op=op)
+            op.results.append(value)
+        self.block.append(op)
+        return op
+
+    def cached_constant(self, key: tuple, make) -> Value:
+        """Deduplicate constants (``arith.constant``) within one block."""
+        if key not in self._constants:
+            self._constants[key] = make()
+        return self._constants[key]
+
+    def at_block(self, block: Block) -> "OpBuilder":
+        """A builder inserting into ``block`` but sharing this builder's names."""
+        child = OpBuilder.__new__(OpBuilder)
+        child.block = block
+        child._prefix = self._prefix
+        child._counter = self._counter
+        child._constants = {}
+        return child

@@ -1,0 +1,80 @@
+"""Textual form of the mini MLIR IR (generic op syntax, MLIR-flavoured)."""
+
+from __future__ import annotations
+
+from .ir import Block, FuncOp, Module, Operation
+
+__all__ = ["print_module", "print_function", "print_operation"]
+
+_INDENT = "  "
+
+
+def _format_attr(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+def print_operation(op: Operation, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    results = ", ".join(str(r) for r in op.results)
+    prefix = f"{results} = " if results else ""
+    operands = ", ".join(str(o) for o in op.operands)
+    attrs = ""
+    if op.attributes:
+        inner = ", ".join(f"{k} = {_format_attr(v)}" for k, v in sorted(op.attributes.items()))
+        attrs = f" {{{inner}}}"
+    types = ""
+    if op.results:
+        types = " : " + ", ".join(str(r.type) for r in op.results)
+    elif op.operands:
+        types = " : " + ", ".join(str(o.type) for o in op.operands)
+    lines = [f"{pad}{prefix}{op.name}({operands}){attrs}{types}"]
+    for region in op.regions:
+        lines.append(f"{pad}{{")
+        for block in region.blocks:
+            lines.append(_print_block(block, indent + 1))
+        lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _print_block(block: Block, indent: int) -> str:
+    pad = _INDENT * indent
+    lines = []
+    if block.arguments:
+        args = ", ".join(f"{a}: {a.type}" for a in block.arguments)
+        lines.append(f"{pad}^bb0({args}):")
+    for op in block.operations:
+        lines.append(print_operation(op, indent))
+    return "\n".join(lines)
+
+
+def print_function(fn: FuncOp, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    args = ", ".join(f"{a}: {a.type}" for a in fn.arguments)
+    results = ""
+    if fn.result_types:
+        results = " -> (" + ", ".join(str(t) for t in fn.result_types) + ")"
+    attrs = ""
+    if fn.attributes:
+        inner = ", ".join(f"{k} = {_format_attr(v)}" for k, v in sorted(fn.attributes.items()))
+        attrs = f" attributes {{{inner}}}"
+    lines = [f"{pad}{fn.kind} @{fn.name}({args}){results}{attrs} {{"]
+    for op in fn.body.operations:
+        lines.append(print_operation(op, indent + 1))
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    attrs = ""
+    if module.attributes:
+        inner = ", ".join(f"{k} = {_format_attr(v)}" for k, v in sorted(module.attributes.items()))
+        attrs = f" attributes {{{inner}}}"
+    lines = [f"module{attrs} {{"]
+    for fn in module.functions:
+        lines.append(print_function(fn, 1))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Structural and SSA verification of the mini MLIR IR.
+
+Checks performed (a practical subset of what ``mlir-opt -verify-diagnostics``
+would enforce for the emitted modules):
+
+* every operand is defined before use (by an earlier operation, an enclosing
+  region's block argument, or the function's arguments);
+* every SSA value is defined exactly once;
+* ``memref.load`` / ``memref.store`` index counts match the memref rank and
+  the indices have ``index`` type;
+* ``gpu.func`` bodies terminate with ``gpu.return``; ``func.func`` bodies
+  terminate with ``func.return``;
+* ``scf.for`` bodies terminate with ``scf.yield``;
+* operations with a known arity have the right number of operands.
+"""
+
+from __future__ import annotations
+
+from .ir import Block, FuncOp, Module, Operation, Value
+from .types import IndexType, MemRefType
+
+__all__ = ["VerificationError", "verify_module", "verify_function"]
+
+
+class VerificationError(ValueError):
+    """Raised when the module violates a structural rule."""
+
+
+_BINARY_ARITH = {
+    "arith.addi",
+    "arith.subi",
+    "arith.muli",
+    "arith.divsi",
+    "arith.remsi",
+    "arith.minsi",
+    "arith.maxsi",
+    "arith.addf",
+    "arith.mulf",
+}
+
+
+def _check_operands_defined(op: Operation, defined: set[int], func_name: str) -> None:
+    for operand in op.operands:
+        if id(operand) not in defined:
+            raise VerificationError(
+                f"{func_name}: operand {operand} of {op.name} used before definition"
+            )
+
+
+def _verify_block(block: Block, defined: set[int], func_name: str, terminator: str | None) -> None:
+    for argument in block.arguments:
+        defined.add(id(argument))
+    for op in block.operations:
+        _check_operands_defined(op, defined, func_name)
+        _verify_operation(op, defined, func_name)
+        for result in op.results:
+            if id(result) in defined:
+                raise VerificationError(f"{func_name}: value {result} defined twice")
+            defined.add(id(result))
+    if terminator is not None:
+        if not block.operations or block.operations[-1].name != terminator:
+            raise VerificationError(
+                f"{func_name}: block must terminate with {terminator}"
+            )
+
+
+def _verify_operation(op: Operation, defined: set[int], func_name: str) -> None:
+    if op.name in _BINARY_ARITH and len(op.operands) != 2:
+        raise VerificationError(f"{func_name}: {op.name} expects 2 operands, got {len(op.operands)}")
+    if op.name == "memref.load":
+        _verify_memref_access(op, op.operands[0], op.operands[1:], func_name)
+    if op.name == "memref.store":
+        _verify_memref_access(op, op.operands[1], op.operands[2:], func_name)
+    if op.name == "scf.for":
+        if len(op.operands) != 3:
+            raise VerificationError(f"{func_name}: scf.for expects 3 operands (lb, ub, step)")
+        if not op.regions or not op.regions[0].blocks:
+            raise VerificationError(f"{func_name}: scf.for requires a body region")
+        body_defined = set(defined)
+        _verify_block(op.regions[0].blocks[0], body_defined, func_name, terminator="scf.yield")
+    elif op.regions:
+        for region in op.regions:
+            for block in region.blocks:
+                _verify_block(block, set(defined), func_name, terminator=None)
+
+
+def _verify_memref_access(op: Operation, source: Value, indices, func_name: str) -> None:
+    if not isinstance(source.type, MemRefType):
+        raise VerificationError(
+            f"{func_name}: {op.name} source must be a memref, got {source.type}"
+        )
+    rank = len(source.type.shape)
+    if len(indices) != rank:
+        raise VerificationError(
+            f"{func_name}: {op.name} on rank-{rank} memref needs {rank} indices, got {len(indices)}"
+        )
+    for index in indices:
+        if not isinstance(index.type, IndexType):
+            raise VerificationError(
+                f"{func_name}: {op.name} index {index} must have index type, got {index.type}"
+            )
+
+
+def verify_function(fn: FuncOp) -> None:
+    defined: set[int] = {id(argument) for argument in fn.arguments}
+    terminator = "gpu.return" if fn.kind == "gpu.func" else "func.return"
+    _verify_block(fn.body, defined, fn.name, terminator=terminator)
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function; raises :class:`VerificationError` on failure."""
+    names = set()
+    for fn in module.functions:
+        if fn.name in names:
+            raise VerificationError(f"duplicate function name {fn.name!r}")
+        names.add(fn.name)
+        verify_function(fn)

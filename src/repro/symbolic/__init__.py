@@ -1,0 +1,91 @@
+"""Symbolic integer expression engine (SymPy / Z3 substitute).
+
+Public surface of the engine used throughout the LEGO reproduction:
+
+* expression construction — :class:`Var`, :class:`Const`, :func:`symbols`,
+  operator overloading, :class:`Min`, :class:`Max`;
+* assumptions — :class:`SymbolicEnv`, :class:`SymInterval`;
+* simplification — :func:`simplify`, :func:`simplify_fixpoint`, :func:`expand`
+  (the paper's Table II rules with range-proved side conditions);
+* proofs — :func:`prove_le`, :func:`prove_lt`, :func:`brute_force_check`;
+* cost model — :func:`operation_count`, :func:`choose_cheapest`;
+* printers — :class:`PythonPrinter`, :class:`TritonPrinter`, :class:`CPrinter`,
+  :class:`MLIRArithPrinter`.
+"""
+
+from .expr import (
+    Add,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Const,
+    Expr,
+    ExprLike,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    as_expr,
+    symbols,
+)
+from .ranges import Interval, RangeEnv
+from .symranges import SymInterval, SymbolicEnv
+from .prover import (
+    brute_force_check,
+    is_nonneg,
+    is_nonzero,
+    is_positive,
+    prove,
+    prove_le,
+    prove_lt,
+    prove_nonneg,
+    prove_positive,
+)
+from .simplify import expand, simplify, simplify_fixpoint
+from .cost import CostWeights, choose_cheapest, operation_count
+from .printers import CPrinter, MLIRArithPrinter, PythonPrinter, TritonPrinter
+
+__all__ = [
+    "Add",
+    "BoolAnd",
+    "BoolNot",
+    "BoolOr",
+    "Cmp",
+    "Const",
+    "Expr",
+    "ExprLike",
+    "FloorDiv",
+    "Max",
+    "Min",
+    "Mod",
+    "Mul",
+    "Var",
+    "as_expr",
+    "symbols",
+    "Interval",
+    "RangeEnv",
+    "SymInterval",
+    "SymbolicEnv",
+    "brute_force_check",
+    "is_nonneg",
+    "is_nonzero",
+    "is_positive",
+    "prove",
+    "prove_le",
+    "prove_lt",
+    "prove_nonneg",
+    "prove_positive",
+    "expand",
+    "simplify",
+    "simplify_fixpoint",
+    "CostWeights",
+    "choose_cheapest",
+    "operation_count",
+    "CPrinter",
+    "MLIRArithPrinter",
+    "PythonPrinter",
+    "TritonPrinter",
+]

@@ -1,0 +1,772 @@
+"""Integer symbolic expression IR.
+
+This module is the foundation of the LEGO reproduction's code-generation
+pipeline.  The original paper embeds its layout algebra into SymPy; this
+reproduction implements the (much smaller) fragment of symbolic integer
+arithmetic that layout lowering actually needs, from scratch:
+
+* expression nodes: constants, variables, ``Add``, ``Mul``, floor division,
+  modulo, ``Min``, ``Max`` and comparisons,
+* light canonicalisation at construction time (constant folding, flattening
+  of associative nodes, deterministic ordering of commutative operands),
+* substitution, concrete evaluation and free-variable queries,
+* an operation-count used by the cost model that selects between expanded
+  and unexpanded index expressions (Section IV-A of the paper).
+
+All expressions are immutable and hashable.  Arithmetic on expressions is
+available through the usual Python operators (``+``, ``-``, ``*``, ``//``,
+``%``) and mirrors Python's *floor* semantics for division and modulo, which
+is also what the generated Triton / CUDA / MLIR code assumes for the
+non-negative index ranges produced by layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, Union
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Add",
+    "Mul",
+    "FloorDiv",
+    "Mod",
+    "Min",
+    "Max",
+    "Cmp",
+    "BoolAnd",
+    "BoolOr",
+    "BoolNot",
+    "ExprLike",
+    "as_expr",
+    "symbols",
+]
+
+ExprLike = Union["Expr", int]
+
+
+def as_expr(value: ExprLike) -> "Expr":
+    """Coerce a Python ``int`` (or an existing expression) into an ``Expr``."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        # booleans are ints in Python; keep them out of integer arithmetic
+        return Const(1 if value else 0)
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot convert {value!r} of type {type(value).__name__} to Expr")
+
+
+class Expr:
+    """Base class of all symbolic integer expressions."""
+
+    __slots__ = ("_hash",)
+
+    # -- construction helpers -------------------------------------------------
+
+    def _key(self) -> tuple:
+        """A structural key used for hashing, equality and ordering."""
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(self._key())
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            if isinstance(other, int):
+                return isinstance(self, Const) and self.value == other
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    # -- structural queries ---------------------------------------------------
+
+    @property
+    def args(self) -> tuple["Expr", ...]:
+        """Immediate sub-expressions."""
+        return ()
+
+    def free_vars(self) -> set[str]:
+        """Names of all variables occurring in the expression."""
+        out: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Var):
+                out.add(node.name)
+        return out
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        stack: list[Expr] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.args))
+
+    def count_ops(self, weights: Mapping[str, int] | None = None) -> int:
+        """Count arithmetic operations (the paper's Table IV metric).
+
+        ``Add``/``Mul`` with *n* operands count as ``n - 1`` operations;
+        ``FloorDiv``, ``Mod``, ``Min``, ``Max`` and comparisons count as one
+        each.  ``weights`` may override the per-operation cost (keyed by the
+        lower-case node name, e.g. ``{"floordiv": 4}``).
+        """
+        weights = weights or {}
+        total = 0
+        for node in self.walk():
+            name = type(node).__name__.lower()
+            if isinstance(node, (Add, Mul)):
+                total += (len(node.args) - 1) * weights.get(name, 1)
+            elif isinstance(node, (FloorDiv, Mod, Cmp)):
+                total += weights.get(name, 1)
+            elif isinstance(node, (Min, Max)):
+                total += (len(node.args) - 1) * weights.get(name, 1)
+            elif isinstance(node, (BoolAnd, BoolOr)):
+                total += (len(node.args) - 1) * weights.get(name, 1)
+            elif isinstance(node, BoolNot):
+                total += weights.get(name, 1)
+        return total
+
+    # -- rewriting ------------------------------------------------------------
+
+    def subs(self, mapping: Mapping[ExprLike, ExprLike]) -> "Expr":
+        """Substitute sub-expressions.
+
+        Keys may be variables (most common), arbitrary sub-expressions or
+        plain variable names (strings are accepted for convenience).
+        """
+        table: dict[Expr, Expr] = {}
+        for key, value in mapping.items():
+            if isinstance(key, str):
+                key_expr: Expr = Var(key)
+            else:
+                key_expr = as_expr(key)
+            table[key_expr] = as_expr(value)
+        return self._substitute(table)
+
+    def _substitute(self, table: Mapping["Expr", "Expr"]) -> "Expr":
+        if self in table:
+            return table[self]
+        if not self.args:
+            return self
+        new_args = tuple(a._substitute(table) for a in self.args)
+        if new_args == self.args:
+            return self
+        return self._rebuild(new_args)
+
+    def _rebuild(self, args: Sequence["Expr"]) -> "Expr":
+        """Reconstruct the node with new children (re-canonicalising)."""
+        raise NotImplementedError
+
+    def map_children(self, fn: Callable[["Expr"], "Expr"]) -> "Expr":
+        """Apply ``fn`` to each child and rebuild if anything changed."""
+        if not self.args:
+            return self
+        new_args = tuple(fn(a) for a in self.args)
+        if new_args == self.args:
+            return self
+        return self._rebuild(new_args)
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        """Evaluate to a concrete value.
+
+        ``env`` maps variable names to integers (or NumPy arrays — any object
+        supporting Python arithmetic works, which lets the mini-Triton
+        interpreter evaluate index expressions over index grids).
+        """
+        raise NotImplementedError
+
+    # -- printing -------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .printers import PythonPrinter
+
+        return PythonPrinter().doprint(self)
+
+    def __str__(self) -> str:
+        from .printers import PythonPrinter
+
+        return PythonPrinter().doprint(self)
+
+    # -- operators ------------------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add(self, other)
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add(other, self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Add(self, Mul(-1, other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Add(other, Mul(-1, self))
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul(self, other)
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul(other, self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv(self, other)
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv(other, self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return Mod(self, other)
+
+    def __rmod__(self, other: ExprLike) -> "Expr":
+        return Mod(other, self)
+
+    def __neg__(self) -> "Expr":
+        return Mul(-1, self)
+
+    def __pos__(self) -> "Expr":
+        return self
+
+    # Comparison helpers build predicate nodes (not Python booleans); use
+    # ``Expr.__eq__`` for structural equality.
+    def lt(self, other: ExprLike) -> "Cmp":
+        return Cmp("<", self, other)
+
+    def le(self, other: ExprLike) -> "Cmp":
+        return Cmp("<=", self, other)
+
+    def gt(self, other: ExprLike) -> "Cmp":
+        return Cmp(">", self, other)
+
+    def ge(self, other: ExprLike) -> "Cmp":
+        return Cmp(">=", self, other)
+
+    def eq(self, other: ExprLike) -> "Cmp":
+        return Cmp("==", self, other)
+
+    def ne(self, other: ExprLike) -> "Cmp":
+        return Cmp("!=", self, other)
+
+    # -- misc -----------------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Const)
+
+    def constant_value(self) -> int | None:
+        """The integer value if the expression is a literal constant."""
+        return self.value if isinstance(self, Const) else None
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key used to canonicalise commutative nodes."""
+        return (_TYPE_ORDER.get(type(self).__name__, 99), self._key())
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, int):
+            raise TypeError(f"Const requires an int, got {type(value).__name__}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("Const is immutable")
+
+    def _key(self) -> tuple:
+        return ("Const", self.value)
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        return self.value
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return self
+
+
+class Var(Expr):
+    """A named integer variable.
+
+    ``meta`` carries optional printing / codegen hints (for example the
+    Triton printer renders a variable tagged as an ``arange`` atom as
+    ``tl.arange(lo, hi)`` with broadcasting suffixes).  ``meta`` does not
+    participate in equality or hashing: two variables with the same name are
+    the same variable.
+    """
+
+    __slots__ = ("name", "meta")
+
+    def __init__(self, name: str, meta: Mapping[str, object] | None = None):
+        if not isinstance(name, str) or not name:
+            raise TypeError("Var requires a non-empty string name")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "meta", dict(meta) if meta else {})
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Var is immutable")
+
+    def _key(self) -> tuple:
+        return ("Var", self.name)
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        env = env or {}
+        if self.name not in env:
+            raise KeyError(f"no value bound for variable {self.name!r}")
+        return env[self.name]
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return self
+
+
+def symbols(names: str | Iterable[str]) -> tuple[Var, ...]:
+    """Create several variables at once: ``i, j = symbols("i j")``."""
+    if isinstance(names, str):
+        parts = names.replace(",", " ").split()
+    else:
+        parts = list(names)
+    return tuple(Var(p) for p in parts)
+
+
+class _NaryExpr(Expr):
+    """Shared implementation for n-ary nodes (stored args are ``Expr``)."""
+
+    __slots__ = ("_args",)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    @property
+    def args(self) -> tuple[Expr, ...]:
+        return self._args
+
+    def _key(self) -> tuple:
+        return (type(self).__name__,) + tuple(a._key() for a in self._args)
+
+
+class Add(_NaryExpr):
+    """Sum of two or more terms (canonicalised, constants folded)."""
+
+    __slots__ = ()
+
+    def __new__(cls, *operands: ExprLike) -> Expr:
+        terms: list[Expr] = []
+        const_total = 0
+        for op in operands:
+            op = as_expr(op)
+            if isinstance(op, Add):
+                children: Iterable[Expr] = op.args
+            else:
+                children = (op,)
+            for child in children:
+                if isinstance(child, Const):
+                    const_total += child.value
+                else:
+                    terms.append(child)
+        # Collect like terms by their non-constant part.
+        collected: dict[Expr, int] = {}
+        order: list[Expr] = []
+        for term in terms:
+            coeff, rest = _split_coeff(term)
+            if rest not in collected:
+                collected[rest] = 0
+                order.append(rest)
+            collected[rest] += coeff
+        final_terms: list[Expr] = []
+        for rest in order:
+            coeff = collected[rest]
+            if coeff == 0:
+                continue
+            if coeff == 1:
+                final_terms.append(rest)
+            else:
+                final_terms.append(Mul(coeff, rest))
+        if const_total != 0:
+            final_terms.append(Const(const_total))
+        if not final_terms:
+            return Const(0)
+        if len(final_terms) == 1:
+            return final_terms[0]
+        final_terms.sort(key=lambda e: e.sort_key())
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "_args", tuple(final_terms))
+        return obj
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        total = None
+        for arg in self._args:
+            value = arg.evaluate(env)
+            total = value if total is None else total + value
+        return total
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return Add(*args)
+
+
+class Mul(_NaryExpr):
+    """Product of two or more factors (canonicalised, constants folded)."""
+
+    __slots__ = ()
+
+    def __new__(cls, *operands: ExprLike) -> Expr:
+        factors: list[Expr] = []
+        const_total = 1
+        for op in operands:
+            op = as_expr(op)
+            if isinstance(op, Mul):
+                children: Iterable[Expr] = op.args
+            else:
+                children = (op,)
+            for child in children:
+                if isinstance(child, Const):
+                    const_total *= child.value
+                else:
+                    factors.append(child)
+        if const_total == 0:
+            return Const(0)
+        if not factors:
+            return Const(const_total)
+        factors.sort(key=lambda e: e.sort_key())
+        if const_total != 1:
+            factors = [Const(const_total)] + factors
+        if len(factors) == 1:
+            return factors[0]
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "_args", tuple(factors))
+        return obj
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        total = None
+        for arg in self._args:
+            value = arg.evaluate(env)
+            total = value if total is None else total * value
+        return total
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return Mul(*args)
+
+
+def _split_coeff(term: Expr) -> tuple[int, Expr]:
+    """Split ``term`` into ``(integer coefficient, remaining factor)``."""
+    if isinstance(term, Mul):
+        consts = [a for a in term.args if isinstance(a, Const)]
+        rest = [a for a in term.args if not isinstance(a, Const)]
+        coeff = 1
+        for c in consts:
+            coeff *= c.value
+        if not rest:
+            return coeff, Const(1)
+        if len(rest) == 1:
+            return coeff, rest[0]
+        return coeff, Mul(*rest)
+    if isinstance(term, Const):
+        return term.value, Const(1)
+    return 1, term
+
+
+class FloorDiv(Expr):
+    """Floor (integer) division ``a // b``."""
+
+    __slots__ = ("_args",)
+
+    def __new__(cls, numerator: ExprLike, denominator: ExprLike) -> Expr:
+        num = as_expr(numerator)
+        den = as_expr(denominator)
+        if isinstance(den, Const):
+            if den.value == 0:
+                raise ZeroDivisionError("symbolic floor division by zero constant")
+            if den.value == 1:
+                return num
+        if isinstance(num, Const) and isinstance(den, Const):
+            return Const(num.value // den.value)
+        if isinstance(num, Const) and num.value == 0:
+            return Const(0)
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "_args", (num, den))
+        return obj
+
+    def __setattr__(self, name, value):
+        raise AttributeError("FloorDiv is immutable")
+
+    @property
+    def args(self) -> tuple[Expr, ...]:
+        return self._args
+
+    @property
+    def numerator(self) -> Expr:
+        return self._args[0]
+
+    @property
+    def denominator(self) -> Expr:
+        return self._args[1]
+
+    def _key(self) -> tuple:
+        return ("FloorDiv", self._args[0]._key(), self._args[1]._key())
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        return self._args[0].evaluate(env) // self._args[1].evaluate(env)
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return FloorDiv(args[0], args[1])
+
+
+class Mod(Expr):
+    """Euclidean-style modulo ``a % b`` (Python semantics)."""
+
+    __slots__ = ("_args",)
+
+    def __new__(cls, value: ExprLike, modulus: ExprLike) -> Expr:
+        val = as_expr(value)
+        mod = as_expr(modulus)
+        if isinstance(mod, Const):
+            if mod.value == 0:
+                raise ZeroDivisionError("symbolic modulo by zero constant")
+            if mod.value == 1:
+                return Const(0)
+        if isinstance(val, Const) and isinstance(mod, Const):
+            return Const(val.value % mod.value)
+        if isinstance(val, Const) and val.value == 0:
+            return Const(0)
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "_args", (val, mod))
+        return obj
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Mod is immutable")
+
+    @property
+    def args(self) -> tuple[Expr, ...]:
+        return self._args
+
+    @property
+    def value_expr(self) -> Expr:
+        return self._args[0]
+
+    @property
+    def modulus(self) -> Expr:
+        return self._args[1]
+
+    def _key(self) -> tuple:
+        return ("Mod", self._args[0]._key(), self._args[1]._key())
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        return self._args[0].evaluate(env) % self._args[1].evaluate(env)
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return Mod(args[0], args[1])
+
+
+class Min(_NaryExpr):
+    """Minimum of two or more expressions."""
+
+    __slots__ = ()
+
+    def __new__(cls, *operands: ExprLike) -> Expr:
+        return _build_minmax(cls, operands, pick=min)
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        return min(a.evaluate(env) for a in self._args)
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return Min(*args)
+
+
+class Max(_NaryExpr):
+    """Maximum of two or more expressions."""
+
+    __slots__ = ()
+
+    def __new__(cls, *operands: ExprLike) -> Expr:
+        return _build_minmax(cls, operands, pick=max)
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        return max(a.evaluate(env) for a in self._args)
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return Max(*args)
+
+
+def _build_minmax(cls, operands: Sequence[ExprLike], pick) -> Expr:
+    flat: list[Expr] = []
+    consts: list[int] = []
+    seen: set[Expr] = set()
+    for op in operands:
+        op = as_expr(op)
+        children = op.args if isinstance(op, cls) else (op,)
+        for child in children:
+            if isinstance(child, Const):
+                consts.append(child.value)
+            elif child not in seen:
+                seen.add(child)
+                flat.append(child)
+    if consts:
+        flat.append(Const(pick(consts)))
+    if not flat:
+        raise ValueError(f"{cls.__name__} requires at least one operand")
+    if len(flat) == 1:
+        return flat[0]
+    flat.sort(key=lambda e: e.sort_key())
+    obj = object.__new__(cls)
+    object.__setattr__(obj, "_args", tuple(flat))
+    return obj
+
+
+_CMP_EVAL = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class Cmp(Expr):
+    """An integer comparison producing a boolean (0/1) value."""
+
+    __slots__ = ("op", "_args")
+
+    def __init__(self, op: str, lhs: ExprLike, rhs: ExprLike):
+        if op not in _CMP_EVAL:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "_args", (as_expr(lhs), as_expr(rhs)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Cmp is immutable")
+
+    @property
+    def args(self) -> tuple[Expr, ...]:
+        return self._args
+
+    @property
+    def lhs(self) -> Expr:
+        return self._args[0]
+
+    @property
+    def rhs(self) -> Expr:
+        return self._args[1]
+
+    def _key(self) -> tuple:
+        return ("Cmp", self.op, self._args[0]._key(), self._args[1]._key())
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        return _CMP_EVAL[self.op](self._args[0].evaluate(env), self._args[1].evaluate(env))
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return Cmp(self.op, args[0], args[1])
+
+
+class BoolAnd(_NaryExpr):
+    """Logical conjunction of predicates."""
+
+    __slots__ = ()
+
+    def __new__(cls, *operands: ExprLike) -> Expr:
+        flat = [as_expr(op) for op in operands]
+        if not flat:
+            return Const(1)
+        if len(flat) == 1:
+            return flat[0]
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "_args", tuple(flat))
+        return obj
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        result = True
+        for arg in self._args:
+            result = result & _as_bool(arg.evaluate(env))
+        return result
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return BoolAnd(*args)
+
+
+class BoolOr(_NaryExpr):
+    """Logical disjunction of predicates."""
+
+    __slots__ = ()
+
+    def __new__(cls, *operands: ExprLike) -> Expr:
+        flat = [as_expr(op) for op in operands]
+        if not flat:
+            return Const(0)
+        if len(flat) == 1:
+            return flat[0]
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "_args", tuple(flat))
+        return obj
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        result = False
+        for arg in self._args:
+            result = result | _as_bool(arg.evaluate(env))
+        return result
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return BoolOr(*args)
+
+
+class BoolNot(Expr):
+    """Logical negation of a predicate."""
+
+    __slots__ = ("_args",)
+
+    def __init__(self, operand: ExprLike):
+        object.__setattr__(self, "_args", (as_expr(operand),))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("BoolNot is immutable")
+
+    @property
+    def args(self) -> tuple[Expr, ...]:
+        return self._args
+
+    def _key(self) -> tuple:
+        return ("BoolNot", self._args[0]._key())
+
+    def evaluate(self, env: Mapping[str, int] | None = None):
+        value = self._args[0].evaluate(env)
+        if isinstance(value, bool):
+            return not value
+        return ~_as_bool(value)
+
+    def _rebuild(self, args: Sequence[Expr]) -> Expr:
+        return BoolNot(args[0])
+
+
+def _as_bool(value):
+    if isinstance(value, (bool, int)):
+        return bool(value)
+    return value  # NumPy arrays and friends already behave element-wise
+
+
+_TYPE_ORDER = {
+    "Const": 0,
+    "Var": 1,
+    "Mul": 2,
+    "Add": 3,
+    "FloorDiv": 4,
+    "Mod": 5,
+    "Min": 6,
+    "Max": 7,
+    "Cmp": 8,
+    "BoolAnd": 9,
+    "BoolOr": 10,
+    "BoolNot": 11,
+}

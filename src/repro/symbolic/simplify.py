@@ -1,0 +1,472 @@
+"""Range-aware simplification of layout index expressions.
+
+This module implements the paper's Table II integer division and modulo
+rewrite rules, together with the supporting algebraic clean-ups that layout
+lowering relies on.  Each rule fires only when its side condition is proven by
+:mod:`repro.symbolic.prover` under the assumption environment
+(:class:`repro.symbolic.symranges.SymbolicEnv`), mirroring the paper's use of
+index ranges plus an SMT solver.
+
+Table II rules (pattern -> result, condition):
+
+1. ``(d*q + r) % d -> r % d``                      (``d != 0``)
+2. ``(d*q + r) / d -> q``  or ``q + r / d``        (``d != 0``; first form when ``0 <= r < d``)
+3. ``(x % d) / d -> 0``                            (``d > 0``)
+4. ``x / a -> 0``                                  (``a > 0``, ``0 <= x < a``)
+5. ``x % a -> x``                                  (``a > 0``, ``0 <= x < a``)
+6. ``(n + y) / 1 -> n + (y / 1)``                  (``n`` integer; handled by the ``//1`` constructor fold)
+7. ``a*(x/a) + x%a -> x``                          (``a != 0``)
+
+Additional (documented) rules beyond Table II that the paper's generated code
+requires (cf. Figure 10):
+
+* nested modulo: ``(x % m) % d -> x % d`` when ``d`` divides ``m``;
+* divisibility folding: ``(x // d) * d -> x`` and ``x % d -> 0`` when the user
+  declared ``d | x`` (e.g. ``BK | K`` for full-tile matmul configurations);
+* ``min``/``max`` collapsing when one side is provably dominant.
+
+``expand`` distributes products over sums; the code-generation pipeline
+generates both the expanded and unexpanded simplified forms and picks the one
+with the lower operation count (Section IV-A's cost model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .expr import (
+    Add,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Const,
+    Expr,
+    ExprLike,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    as_expr,
+)
+from .prover import is_nonzero, is_positive, prove_le, prove_lt, prove_nonneg
+from .symranges import SymbolicEnv
+
+__all__ = ["simplify", "expand", "simplify_fixpoint"]
+
+_MAX_PASSES = 8
+
+
+def simplify(expr: ExprLike, env: SymbolicEnv | None = None, _depth: int = 0) -> Expr:
+    """Simplify ``expr`` under the assumptions in ``env`` (single pass, bottom-up)."""
+    expr = as_expr(expr)
+    env = env or SymbolicEnv()
+    return _simplify_node(expr, env, _depth)
+
+
+def simplify_fixpoint(expr: ExprLike, env: SymbolicEnv | None = None) -> Expr:
+    """Apply :func:`simplify` repeatedly until the expression stops changing."""
+    expr = as_expr(expr)
+    env = env or SymbolicEnv()
+    for _ in range(_MAX_PASSES):
+        new = _simplify_node(expr, env, 0)
+        if new == expr:
+            return new
+        expr = new
+    return expr
+
+
+def _simplify_node(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
+    if depth > 24 or isinstance(expr, (Const, Var)):
+        return expr
+    # Simplify children first (the n-ary constructors re-canonicalise).
+    expr = expr.map_children(lambda child: _simplify_node(child, env, depth + 1))
+    if isinstance(expr, Mod):
+        return _simplify_mod(expr, env, depth)
+    if isinstance(expr, FloorDiv):
+        return _simplify_floordiv(expr, env, depth)
+    if isinstance(expr, Add):
+        return _simplify_add(expr, env, depth)
+    if isinstance(expr, Mul):
+        return _simplify_mul(expr, env, depth)
+    if isinstance(expr, Min):
+        return _simplify_min(expr, env)
+    if isinstance(expr, Max):
+        return _simplify_max(expr, env)
+    if isinstance(expr, (Cmp, BoolAnd, BoolOr, BoolNot)):
+        return expr
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# modulo
+# ---------------------------------------------------------------------------
+
+
+def _simplify_mod(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
+    if not isinstance(expr, Mod):
+        return expr
+    value, modulus = expr.value_expr, expr.modulus
+
+    # Divisibility fact: d | x  =>  x % d == 0.
+    if env.divides(modulus, value):
+        return Const(0)
+
+    # Rule 1: (d*q + r) % d -> r % d  when d != 0.
+    if is_nonzero(modulus, env):
+        multiple, rest = _split_multiple_of(value, modulus, env)
+        if multiple is not None:
+            return _simplify_mod(Mod(rest, modulus), env, depth + 1) if not isinstance(
+                rest, Const
+            ) or rest.value != 0 else Const(0)
+
+    # Rule 5: x % a -> x  when a > 0 and 0 <= x < a.
+    if is_positive(modulus, env) and prove_nonneg(value, env):
+        value_hi = env.range_of(value).hi
+        if value_hi is not None and prove_lt(value_hi, modulus, env):
+            return value
+        if prove_lt(value, modulus, env):
+            return value
+
+    # Nested modulo: (x % m) % d -> x % d  when d | m.
+    if isinstance(value, Mod) and env.divides(modulus, value.modulus):
+        return _simplify_mod(Mod(value.value_expr, modulus), env, depth + 1)
+
+    return Mod(value, modulus)
+
+
+# ---------------------------------------------------------------------------
+# floor division
+# ---------------------------------------------------------------------------
+
+
+def _simplify_floordiv(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
+    if not isinstance(expr, FloorDiv):
+        return expr
+    num, den = expr.numerator, expr.denominator
+
+    # Divisibility fact folding: (c*d*rest) // d -> c*rest when d | num exactly
+    # through a literal factor.
+    exact = _exact_quotient(num, den, env)
+    if exact is not None:
+        return exact
+
+    # Rule 3: (x % d) / d -> 0  when d > 0.
+    if isinstance(num, Mod) and num.modulus == den and is_positive(den, env):
+        return Const(0)
+
+    # Rule 4: x / a -> 0  when a > 0, 0 <= x < a.
+    if is_positive(den, env) and prove_nonneg(num, env):
+        num_hi = env.range_of(num).hi
+        if num_hi is not None and prove_lt(num_hi, den, env):
+            return Const(0)
+        if prove_lt(num, den, env):
+            return Const(0)
+
+    # Small negative constant numerators: -d <= c < 0 and d > 0 imply c//d == -1.
+    # (Needed so symbolic range bounds such as (mn*ntn - 1)//mn collapse to
+    # ntn - 1, which in turn lets rules 4 and 5 fire on grouped thread layouts.)
+    if isinstance(num, Const) and num.value < 0 and is_positive(den, env):
+        if prove_le(Const(-num.value), den, env):
+            return Const(-1)
+
+    # Rule 2: (d*q + r) / d -> q  (or q + r/d)  when d != 0.
+    if is_nonzero(den, env):
+        multiple, rest = _split_multiple_of(num, den, env)
+        if multiple is not None:
+            quotient = multiple
+            if isinstance(rest, Const) and rest.value == 0:
+                return quotient
+            # The split identity (d*q + r)//d == q + r//d requires floor
+            # semantics, which hold unconditionally for d != 0 only when the
+            # remainder term's floor division is kept; emit q + r//d and let
+            # the recursive call collapse r//d when 0 <= r < d.
+            rest_div = _simplify_floordiv(FloorDiv(rest, den), env, depth + 1)
+            return Add(quotient, rest_div)
+
+    return FloorDiv(num, den)
+
+
+def _exact_quotient(num: Expr, den: Expr, env: SymbolicEnv) -> Optional[Expr]:
+    """Return ``num / den`` when the division is provably exact and removable."""
+    if num == den:
+        return Const(1)
+    if isinstance(num, Mul):
+        factors = list(num.args)
+        # literal factor equal to the denominator
+        for i, factor in enumerate(factors):
+            if factor == den:
+                rest = factors[:i] + factors[i + 1 :]
+                return Mul(*rest) if rest else Const(1)
+        # constant // constant folding with a constant coefficient
+        if isinstance(den, Const):
+            for i, factor in enumerate(factors):
+                if isinstance(factor, Const) and den.value != 0 and factor.value % den.value == 0:
+                    rest = factors[:i] + factors[i + 1 :]
+                    coeff = Const(factor.value // den.value)
+                    return Mul(coeff, *rest) if rest else coeff
+    if isinstance(num, Const) and isinstance(den, Const) and den.value != 0:
+        if num.value % den.value == 0:
+            return Const(num.value // den.value)
+    return None
+
+
+def _split_multiple_of(
+    value: Expr, divisor: Expr, env: SymbolicEnv
+) -> tuple[Optional[Expr], Expr]:
+    """Split ``value`` into ``divisor * quotient + rest``.
+
+    Returns ``(quotient, rest)`` when at least one additive term of ``value``
+    is a provable multiple of ``divisor`` (structurally, through a literal
+    factor, constant divisibility, or a user-declared divisibility fact);
+    otherwise ``(None, value)``.
+    """
+    terms = list(value.args) if isinstance(value, Add) else [value]
+    quotient_terms: list[Expr] = []
+    rest_terms: list[Expr] = []
+    for term in terms:
+        q = _term_quotient(term, divisor, env)
+        if q is not None:
+            quotient_terms.append(q)
+        else:
+            rest_terms.append(term)
+    if not quotient_terms:
+        return None, value
+    quotient = Add(*quotient_terms) if len(quotient_terms) > 1 else quotient_terms[0]
+    rest = Add(*rest_terms) if rest_terms else Const(0)
+    return quotient, rest
+
+
+def _term_quotient(term: Expr, divisor: Expr, env: SymbolicEnv) -> Optional[Expr]:
+    """If ``term`` is a multiple of ``divisor``, return ``term / divisor``."""
+    if term == divisor:
+        return Const(1)
+    if isinstance(term, Const) and isinstance(divisor, Const):
+        if divisor.value != 0 and term.value % divisor.value == 0:
+            return Const(term.value // divisor.value)
+        return None
+    if isinstance(term, Mul):
+        factors = list(term.args)
+        # a literal occurrence of the divisor among the factors
+        for i, factor in enumerate(factors):
+            if factor == divisor:
+                rest = factors[:i] + factors[i + 1 :]
+                return Mul(*rest) if rest else Const(1)
+        # a constant coefficient divisible by a constant divisor
+        if isinstance(divisor, Const) and divisor.value != 0:
+            for i, factor in enumerate(factors):
+                if isinstance(factor, Const) and factor.value % divisor.value == 0:
+                    rest = factors[:i] + factors[i + 1 :]
+                    coeff = Const(factor.value // divisor.value)
+                    return Mul(coeff, *rest) if rest else coeff
+        # a factor pair (d, x // d) whose product is exactly the divisor x
+        # (requires d | x, e.g. BK * (K // BK) == K for the matmul layouts)
+        for i, factor in enumerate(factors):
+            if not isinstance(factor, FloorDiv):
+                continue
+            x, d = factor.numerator, factor.denominator
+            if x != divisor or not env.divides(d, x):
+                continue
+            for j, other in enumerate(factors):
+                if j != i and other == d:
+                    rest = [f for k, f in enumerate(factors) if k not in (i, j)]
+                    return Mul(*rest) if rest else Const(1)
+        # a factor the user declared divisible by the divisor (e.g. K with BK | K)
+        for i, factor in enumerate(factors):
+            if not isinstance(factor, Const) and factor != divisor and env.divides(divisor, factor):
+                rest = factors[:i] + factors[i + 1 :]
+                quotient_factor = FloorDiv(factor, divisor)
+                return Mul(quotient_factor, *rest) if rest else quotient_factor
+    # whole-term divisibility fact (e.g. K with BK | K)
+    if not isinstance(term, (Const, Mul)) and env.divides(divisor, term) and term != divisor:
+        return FloorDiv(term, divisor)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# addition: rule 7 and divisibility folding
+# ---------------------------------------------------------------------------
+
+
+def _simplify_add(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
+    if not isinstance(expr, Add):
+        return expr
+    terms = list(expr.args)
+
+    # Rule 7: a*(x/a) + x%a -> x  (a != 0).  Match pairs of terms with equal
+    # integer coefficients where one is c*Mod(x, a) and the other is
+    # c*a*FloorDiv(x, a).
+    changed = True
+    while changed:
+        changed = False
+        mod_positions: list[tuple[int, int, Expr, Expr]] = []  # (idx, coeff, x, a)
+        for i, term in enumerate(terms):
+            coeff, body = _coeff_and_body(term)
+            if isinstance(body, Mod):
+                mod_positions.append((i, coeff, body.value_expr, body.modulus))
+        for (i, coeff, x, a) in mod_positions:
+            if not is_nonzero(a, env):
+                continue
+            for j, other in enumerate(terms):
+                if j == i:
+                    continue
+                if _matches_div_times_divisor(other, coeff, x, a):
+                    replacement = Mul(coeff, x) if coeff != 1 else x
+                    new_terms = [t for k, t in enumerate(terms) if k not in (i, j)]
+                    new_terms.append(replacement)
+                    terms = new_terms
+                    changed = True
+                    break
+            if changed:
+                break
+    return Add(*terms) if len(terms) > 1 else (terms[0] if terms else Const(0))
+
+
+def _coeff_and_body(term: Expr) -> tuple[int, Expr]:
+    """Split a term into an integer coefficient and the remaining factor."""
+    if isinstance(term, Mul):
+        coeff = 1
+        rest: list[Expr] = []
+        for factor in term.args:
+            if isinstance(factor, Const):
+                coeff *= factor.value
+            else:
+                rest.append(factor)
+        if len(rest) == 1:
+            return coeff, rest[0]
+        if rest:
+            return coeff, Mul(*rest)
+        return coeff, Const(1)
+    if isinstance(term, Const):
+        return term.value, Const(1)
+    return 1, term
+
+
+def _matches_div_times_divisor(term: Expr, coeff: int, x: Expr, a: Expr) -> bool:
+    """Does ``term`` equal ``coeff * a * (x // a)``?"""
+    expected = Mul(coeff, a, FloorDiv(x, a))
+    return term == expected
+
+
+# ---------------------------------------------------------------------------
+# multiplication: divisibility folding
+# ---------------------------------------------------------------------------
+
+
+def _simplify_mul(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
+    if not isinstance(expr, Mul):
+        return expr
+    factors = list(expr.args)
+    # (x // d) * d -> x   when d | x (user divisibility fact or structure)
+    changed = True
+    while changed:
+        changed = False
+        for i, factor in enumerate(factors):
+            if not isinstance(factor, FloorDiv):
+                continue
+            x, d = factor.numerator, factor.denominator
+            if not env.divides(d, x):
+                continue
+            for j, other in enumerate(factors):
+                if j != i and other == d:
+                    new_factors = [f for k, f in enumerate(factors) if k not in (i, j)]
+                    new_factors.append(x)
+                    factors = new_factors
+                    changed = True
+                    break
+            if changed:
+                break
+    if len(factors) == 1:
+        return factors[0]
+    return Mul(*factors)
+
+
+# ---------------------------------------------------------------------------
+# min / max
+# ---------------------------------------------------------------------------
+
+
+def _simplify_min(expr: Expr, env: SymbolicEnv) -> Expr:
+    if not isinstance(expr, Min):
+        return expr
+    args = list(expr.args)
+    kept: list[Expr] = []
+    for arg in args:
+        dominated = False
+        for other in args:
+            if other is arg:
+                continue
+            # drop `arg` if some other argument is provably <= arg
+            if other != arg and prove_le(other, arg, env) and not prove_le(arg, other, env):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(arg)
+    if not kept:
+        kept = args
+    if len(kept) == 1:
+        return kept[0]
+    return Min(*kept)
+
+
+def _simplify_max(expr: Expr, env: SymbolicEnv) -> Expr:
+    if not isinstance(expr, Max):
+        return expr
+    args = list(expr.args)
+    kept: list[Expr] = []
+    for arg in args:
+        dominated = False
+        for other in args:
+            if other is arg:
+                continue
+            if other != arg and prove_le(arg, other, env) and not prove_le(other, arg, env):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(arg)
+    if not kept:
+        kept = args
+    if len(kept) == 1:
+        return kept[0]
+    return Max(*kept)
+
+
+# ---------------------------------------------------------------------------
+# expansion (pre-expansion variant of the pipeline)
+# ---------------------------------------------------------------------------
+
+
+def expand(expr: ExprLike) -> Expr:
+    """Distribute products over sums (recursively).
+
+    The code-generation pipeline simplifies both the expanded and unexpanded
+    forms of every index expression and keeps whichever has the lower
+    operation count — the paper's NW benchmark favours the unexpanded form
+    while LUD favours the expanded one.
+    """
+    expr = as_expr(expr)
+    if isinstance(expr, (Const, Var)):
+        return expr
+    expr = expr.map_children(expand)
+    if isinstance(expr, Mul):
+        return _expand_mul(expr)
+    return expr
+
+
+def _expand_mul(expr: Expr) -> Expr:
+    if not isinstance(expr, Mul):
+        return expr
+    # Separate out additive factors and distribute them pairwise.
+    result_terms: list[Expr] = [Const(1)]
+    for factor in expr.args:
+        factor_terms = list(factor.args) if isinstance(factor, Add) else [factor]
+        new_terms: list[Expr] = []
+        for existing in result_terms:
+            for ft in factor_terms:
+                new_terms.append(Mul(existing, ft))
+        result_terms = new_terms
+    if len(result_terms) == 1:
+        return result_terms[0]
+    return Add(*result_terms)

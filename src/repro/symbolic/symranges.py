@@ -1,0 +1,411 @@
+"""Symbolic interval ranges and the assumption environment.
+
+Layout lowering produces index expressions whose validity conditions involve
+*symbolic* bounds: an index atom produced by ``tl.arange(0, BK)`` lies in
+``[0, BK - 1]`` where ``BK`` is a compile-time-constant *symbol*, not a
+number.  The paper propagates such ranges through the layout and discharges
+the side conditions of its simplification rules (Table II) with Z3.  This
+module provides the reproduction's equivalent machinery:
+
+* :class:`SymInterval` — an interval whose bounds are symbolic expressions
+  (or ``None`` for unbounded ends),
+* :class:`SymbolicEnv` — the assumption environment: per-variable ranges,
+  divisibility facts (``BK`` divides ``K``) and helper constructors for the
+  common "size symbol" (positive) and "index symbol" (``0 <= i < extent``)
+  declarations,
+* :meth:`SymbolicEnv.range_of` — sound symbolic interval for an arbitrary
+  expression.
+
+The structural non-negativity / positivity checks that make symbolic bound
+comparisons possible live in :mod:`repro.symbolic.prover`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from .expr import (
+    Add,
+    Const,
+    Expr,
+    ExprLike,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    as_expr,
+)
+
+__all__ = ["SymInterval", "SymbolicEnv"]
+
+
+def _opt_expr(value) -> Optional[Expr]:
+    if value is None:
+        return None
+    return as_expr(value)
+
+
+@dataclass(frozen=True)
+class SymInterval:
+    """An integer interval whose endpoints may be symbolic expressions."""
+
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "lo", _opt_expr(self.lo))
+        object.__setattr__(self, "hi", _opt_expr(self.hi))
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def point(value: ExprLike) -> "SymInterval":
+        e = as_expr(value)
+        return SymInterval(e, e)
+
+    @staticmethod
+    def index(extent: ExprLike) -> "SymInterval":
+        """Range of an index into a dimension of symbolic size ``extent``."""
+        return SymInterval(Const(0), as_expr(extent) - 1)
+
+    @staticmethod
+    def positive() -> "SymInterval":
+        return SymInterval(Const(1), None)
+
+    @staticmethod
+    def nonneg() -> "SymInterval":
+        return SymInterval(Const(0), None)
+
+    @staticmethod
+    def top() -> "SymInterval":
+        return SymInterval(None, None)
+
+    # -- queries --------------------------------------------------------------
+
+    def constant_bounds(self) -> tuple[Optional[int], Optional[int]]:
+        """Return the bounds as plain ints where they are literal constants."""
+        lo = self.lo.value if isinstance(self.lo, Const) else None
+        hi = self.hi.value if isinstance(self.hi, Const) else None
+        return lo, hi
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+class SymbolicEnv:
+    """Assumption environment for symbolic simplification.
+
+    The environment records, for each variable name:
+
+    * a :class:`SymInterval` range (possibly with symbolic bounds), and
+
+    separately a set of divisibility facts ``divisor | dividend`` supplied by
+    the user (the paper's "users can provide their own constraints" hook) —
+    these license rewrites such as ``(K // BK) * BK -> K``.
+
+    Environments are mutated in place by the ``declare_*`` helpers; the
+    layout-lowering context builds one environment per kernel.
+    """
+
+    def __init__(self):
+        self._ranges: dict[str, SymInterval] = {}
+        self._divisibility: set[tuple[Expr, Expr]] = set()
+        self._positive_exprs: set[Expr] = set()
+        self._le_facts: list[tuple[Expr, Expr]] = []
+        self._max_depth = 16
+
+    # -- declarations ---------------------------------------------------------
+
+    def declare_size(self, *names_or_vars) -> None:
+        """Declare positive "size" symbols (tile sizes, problem sizes, ...)."""
+        for item in names_or_vars:
+            name = item.name if isinstance(item, Var) else str(item)
+            self._ranges[name] = SymInterval.positive()
+
+    def declare_index(self, name_or_var, extent: ExprLike) -> Var:
+        """Declare an index symbol with range ``[0, extent - 1]``.
+
+        Declaring an index over ``extent`` implicitly asserts the index space
+        is non-empty, so the extent itself is recorded as a positive fact
+        (needed e.g. for ``K // BK`` extents, whose positivity cannot be
+        derived from ``K >= 1`` and ``BK >= 1`` alone).
+        """
+        if isinstance(name_or_var, Var):
+            var = name_or_var
+        else:
+            var = Var(str(name_or_var))
+        self._ranges[var.name] = SymInterval.index(extent)
+        extent_expr = as_expr(extent)
+        if not isinstance(extent_expr, (Const, Var)):
+            self._positive_exprs.add(extent_expr)
+        return var
+
+    def declare_positive(self, *exprs: ExprLike) -> None:
+        """Record that each (possibly compound) expression is ``>= 1``."""
+        for expr in exprs:
+            expr = as_expr(expr)
+            if isinstance(expr, Var):
+                self._ranges.setdefault(expr.name, SymInterval.positive())
+            else:
+                self._positive_exprs.add(expr)
+
+    def declare_le(self, lhs: ExprLike, rhs: ExprLike) -> None:
+        """Record the user constraint ``lhs <= rhs`` (a relational fact).
+
+        This is the paper's "users can provide their own constraints" hook;
+        the prover uses these facts to cancel terms that pure interval
+        reasoning cannot bound (e.g. ``min(GM, nt_m) * max(1, nt_m // GM) <=
+        nt_m`` for the grouped thread-block layout of Figure 1).
+        """
+        self._le_facts.append((as_expr(lhs), as_expr(rhs)))
+
+    def is_declared_positive(self, expr: ExprLike) -> bool:
+        """Was ``expr`` declared positive (directly or as an index extent)?"""
+        return as_expr(expr) in self._positive_exprs
+
+    def le_facts(self) -> tuple[tuple[Expr, Expr], ...]:
+        """The declared relational ``lhs <= rhs`` facts."""
+        return tuple(self._le_facts)
+
+    def declare_range(self, name_or_var, lo, hi) -> Var:
+        """Declare an arbitrary (possibly symbolic) range for a variable."""
+        if isinstance(name_or_var, Var):
+            var = name_or_var
+        else:
+            var = Var(str(name_or_var))
+        self._ranges[var.name] = SymInterval(_opt_expr(lo), _opt_expr(hi))
+        return var
+
+    def declare_nonneg(self, *names_or_vars) -> None:
+        for item in names_or_vars:
+            name = item.name if isinstance(item, Var) else str(item)
+            self._ranges[name] = SymInterval.nonneg()
+
+    def declare_divisible(self, dividend: ExprLike, divisor: ExprLike) -> None:
+        """Record the fact ``divisor | dividend`` (divisor divides dividend)."""
+        self._divisibility.add((as_expr(dividend), as_expr(divisor)))
+
+    def copy(self) -> "SymbolicEnv":
+        new = SymbolicEnv()
+        new._ranges = dict(self._ranges)
+        new._divisibility = set(self._divisibility)
+        new._positive_exprs = set(self._positive_exprs)
+        new._le_facts = list(self._le_facts)
+        return new
+
+    def merged_with(self, other: "SymbolicEnv | None") -> "SymbolicEnv":
+        if other is None:
+            return self
+        new = self.copy()
+        new._ranges.update(other._ranges)
+        new._divisibility.update(other._divisibility)
+        new._positive_exprs.update(other._positive_exprs)
+        new._le_facts.extend(other._le_facts)
+        return new
+
+    # -- lookups --------------------------------------------------------------
+
+    def range_of_var(self, name: str) -> SymInterval:
+        bound = self._ranges.get(name)
+        if bound is not None:
+            return bound
+        return SymInterval.top()
+
+    def variables(self) -> Mapping[str, SymInterval]:
+        return dict(self._ranges)
+
+    def divisibility_facts(self) -> Iterable[tuple[Expr, Expr]]:
+        return tuple(self._divisibility)
+
+    def divides(self, divisor: Expr, dividend: Expr) -> bool:
+        """Can we show that ``divisor`` evenly divides ``dividend``?"""
+        divisor = as_expr(divisor)
+        dividend = as_expr(dividend)
+        if divisor == dividend:
+            return True
+        if isinstance(divisor, Const) and divisor.value in (1, -1):
+            return True
+        if isinstance(dividend, Const) and dividend.value == 0:
+            return True
+        if isinstance(divisor, Const) and isinstance(dividend, Const):
+            return divisor.value != 0 and dividend.value % divisor.value == 0
+        if (dividend, divisor) in self._divisibility:
+            return True
+        if isinstance(dividend, Mul):
+            # d | (a * b * ...) when d divides one of the factors or d appears
+            # literally among the factors.
+            for factor in dividend.args:
+                if factor == divisor or self.divides(divisor, factor):
+                    return True
+        if isinstance(dividend, Add):
+            return all(self.divides(divisor, term) for term in dividend.args)
+        return False
+
+    # -- range analysis -------------------------------------------------------
+
+    def range_of(self, expr: Expr, _depth: int = 0) -> SymInterval:
+        """Compute a sound symbolic interval for ``expr``."""
+        result = self._range_of_dispatch(expr, _depth)
+        if self._positive_exprs and expr in self._positive_exprs:
+            lo = result.lo
+            if lo is None or (isinstance(lo, Const) and lo.value < 1):
+                result = SymInterval(Const(1), result.hi)
+        return result
+
+    def _range_of_dispatch(self, expr: Expr, _depth: int = 0) -> SymInterval:
+        from .prover import is_nonneg, is_positive
+
+        if _depth > self._max_depth:
+            return SymInterval.top()
+        depth = _depth + 1
+
+        if isinstance(expr, Const):
+            return SymInterval.point(expr)
+        if isinstance(expr, Var):
+            bound = self._ranges.get(expr.name)
+            if bound is not None:
+                return bound
+            meta_range = expr.meta.get("range")
+            if isinstance(meta_range, tuple) and len(meta_range) == 2:
+                return SymInterval(_opt_expr(meta_range[0]), _opt_expr(meta_range[1]))
+            return SymInterval.top()
+        if isinstance(expr, Add):
+            # Every term is its own (trivial) bound, so a sum always has
+            # symbolic bounds; tighter per-term bounds are used when known.
+            lo: Optional[Expr] = Const(0)
+            hi: Optional[Expr] = Const(0)
+            for arg in expr.args:
+                r = self.range_of(arg, depth)
+                lo = lo + (r.lo if r.lo is not None else arg)
+                hi = hi + (r.hi if r.hi is not None else arg)
+            return SymInterval(lo, hi)
+        if isinstance(expr, Mul):
+            return self._range_of_mul(expr, depth)
+        if isinstance(expr, FloorDiv):
+            return self._range_of_floordiv(expr, depth)
+        if isinstance(expr, Mod):
+            return self._range_of_mod(expr, depth)
+        if isinstance(expr, Min):
+            return self._range_of_min(expr, depth)
+        if isinstance(expr, Max):
+            return self._range_of_max(expr, depth)
+        # comparisons / boolean nodes take values in {0, 1}
+        return SymInterval(Const(0), Const(1))
+
+    def _range_of_mul(self, expr: Mul, depth: int) -> SymInterval:
+        from .prover import is_nonneg
+
+        # Pull out a literal constant coefficient to handle negation cleanly.
+        const_coeff = 1
+        rest: list[Expr] = []
+        for arg in expr.args:
+            if isinstance(arg, Const):
+                const_coeff *= arg.value
+            else:
+                rest.append(arg)
+        if not rest:
+            return SymInterval.point(Const(const_coeff))
+        rest_ranges = [self.range_of(a, depth) for a in rest]
+        if not all(is_nonneg(a, self) for a in rest):
+            return SymInterval.top()
+        # All non-constant factors are non-negative, so the product is
+        # monotone in each factor and every factor is its own trivial upper
+        # bound when no tighter bound is known.
+        lo: Optional[Expr] = Const(1)
+        hi: Optional[Expr] = Const(1)
+        for factor, r in zip(rest, rest_ranges):
+            lo = None if (lo is None or r.lo is None) else Mul(lo, r.lo)
+            hi = Mul(hi, r.hi if r.hi is not None else factor)
+        if lo is None:
+            lo = Const(0)
+        if const_coeff >= 0:
+            return SymInterval(
+                Mul(const_coeff, lo),
+                None if hi is None else Mul(const_coeff, hi),
+            )
+        # negative coefficient flips the interval
+        return SymInterval(
+            None if hi is None else Mul(const_coeff, hi),
+            Mul(const_coeff, lo),
+        )
+
+    def _range_of_floordiv(self, expr: FloorDiv, depth: int) -> SymInterval:
+        from .prover import is_nonneg, is_positive
+        from .simplify import simplify
+
+        num, den = expr.numerator, expr.denominator
+        if is_nonneg(num, self) and is_positive(den, self):
+            num_range = self.range_of(num, depth)
+            hi: Optional[Expr] = None
+            if num_range.hi is not None:
+                # x <= hi  and  d >= 1  imply  x // d <= hi // d
+                hi = simplify(FloorDiv(num_range.hi, den), self, _depth=depth)
+            lo: Expr = Const(0)
+            if num_range.lo is not None:
+                den_range = self.range_of(den, depth)
+                if den_range.hi is not None:
+                    lo = simplify(FloorDiv(num_range.lo, den_range.hi), self, _depth=depth)
+            return SymInterval(lo, hi)
+        return SymInterval.top()
+
+    def _range_of_mod(self, expr: Mod, depth: int) -> SymInterval:
+        from .prover import is_nonneg, is_positive, prove_le
+
+        value, modulus = expr.value_expr, expr.modulus
+        if is_positive(modulus, self):
+            value_range = self.range_of(value, depth)
+            hi: Expr = modulus - 1
+            if (
+                value_range.hi is not None
+                and is_nonneg(value, self)
+                and prove_le(value_range.hi, modulus - 1, self)
+            ):
+                # the value never wraps: the mod is the identity on its range
+                return SymInterval(value_range.lo or Const(0), value_range.hi)
+            return SymInterval(Const(0), hi)
+        return SymInterval.top()
+
+    def _range_of_min(self, expr: Min, depth: int) -> SymInterval:
+        from .prover import is_nonneg
+
+        arg_ranges = [self.range_of(a, depth) for a in expr.args]
+        # Upper bound: Min(args) <= Min of per-argument upper bounds; an
+        # argument without a known bound is its own (trivial) upper bound, so
+        # e.g. Min(GM, nt_m) with unbounded size symbols stays bounded by the
+        # Min expression itself — which the relational prover can then use.
+        hi_parts = [r.hi if r.hi is not None else arg for arg, r in zip(expr.args, arg_ranges)]
+        hi: Optional[Expr] = Min(*hi_parts) if hi_parts else None
+        lo: Optional[Expr] = None
+        const_los = [r.lo for r in arg_ranges]
+        if all(isinstance(b, Const) for b in const_los if b is not None) and all(
+            b is not None for b in const_los
+        ):
+            lo = Const(min(b.value for b in const_los))  # type: ignore[union-attr]
+        elif all(is_nonneg(a, self) for a in expr.args):
+            lo = Const(0)
+        return SymInterval(lo, hi)
+
+    def _range_of_max(self, expr: Max, depth: int) -> SymInterval:
+        arg_ranges = [self.range_of(a, depth) for a in expr.args]
+        lo: Optional[Expr] = None
+        for r in arg_ranges:
+            if r.lo is not None:
+                lo = r.lo if lo is None else Max(lo, r.lo)
+        # Symmetric to Min: Max(args) <= Max of per-argument upper bounds,
+        # falling back to the argument itself when its bound is unknown.
+        hi_parts = [r.hi if r.hi is not None else arg for arg, r in zip(expr.args, arg_ranges)]
+        hi: Optional[Expr] = Max(*hi_parts) if hi_parts else None
+        const_his = [r.hi for r in arg_ranges]
+        if all(b is not None and isinstance(b, Const) for b in const_his):
+            hi = Const(max(b.value for b in const_his))  # type: ignore[union-attr]
+        return SymInterval(lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{k}: {v}" for k, v in sorted(self._ranges.items())]
+        divs = [f"{d} | {x}" for (x, d) in self._divisibility]
+        return "SymbolicEnv(" + "; ".join(parts + divs) + ")"

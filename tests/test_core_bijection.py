@@ -1,0 +1,241 @@
+"""Canonical bijections, permutation blocks and the permutation library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GenP,
+    RegP,
+    antidiagonal,
+    flatten_index,
+    hilbert2d,
+    morton,
+    reverse_permutation,
+    unflatten_index,
+    xor_swizzle,
+)
+from repro.core.bijection import product, validate_index
+from repro.core.perms import apply_permutation, identity_permutation, invert_permutation
+
+
+# -- canonical bijections -------------------------------------------------------
+
+
+def test_flatten_row_major_2d():
+    assert flatten_index((0, 0), (6, 4)) == 0
+    assert flatten_index((4, 1), (6, 4)) == 17
+    assert flatten_index((5, 3), (6, 4)) == 23
+
+
+def test_unflatten_inverts_flatten_2d():
+    for flat in range(24):
+        assert flatten_index(unflatten_index(flat, (6, 4)), (6, 4)) == flat
+
+
+def test_flatten_empty_dims_is_zero():
+    assert flatten_index((), ()) == 0
+    assert unflatten_index(0, ()) == ()
+
+
+def test_flatten_rank_mismatch_raises():
+    with pytest.raises(ValueError):
+        flatten_index((1, 2, 3), (4, 4))
+
+
+def test_validate_index_raises_out_of_range():
+    with pytest.raises(IndexError):
+        validate_index((6, 0), (6, 4))
+    with pytest.raises(IndexError):
+        validate_index((0, -1), (6, 4))
+    validate_index((5, 3), (6, 4))  # in range: no error
+
+
+def test_product():
+    assert product(()) == 1
+    assert product((3, 4, 5)) == 60
+
+
+@given(st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4), st.data())
+@settings(max_examples=60, deadline=None)
+def test_flatten_unflatten_roundtrip_property(dims, data):
+    dims = tuple(dims)
+    total = math.prod(dims)
+    flat = data.draw(st.integers(min_value=0, max_value=total - 1))
+    coords = unflatten_index(flat, dims)
+    assert all(0 <= c < d for c, d in zip(coords, dims))
+    assert flatten_index(coords, dims) == flat
+
+
+# -- permutation helpers ----------------------------------------------------------
+
+
+def test_identity_permutation():
+    assert identity_permutation(4) == (1, 2, 3, 4)
+
+
+def test_invert_permutation_roundtrip():
+    sigma = (3, 1, 4, 2)
+    inverse = invert_permutation(sigma)
+    assert apply_permutation(apply_permutation((10, 20, 30, 40), sigma), inverse) == (10, 20, 30, 40)
+
+
+@given(st.permutations(list(range(1, 6))))
+@settings(max_examples=40, deadline=None)
+def test_invert_permutation_property(sigma):
+    inverse = invert_permutation(sigma)
+    values = tuple(range(100, 100 + len(sigma)))
+    assert apply_permutation(apply_permutation(values, sigma), inverse) == values
+
+
+# -- RegP ---------------------------------------------------------------------------
+
+
+def test_regp_identity_is_row_major():
+    perm = RegP([3, 4])
+    for i in range(3):
+        for j in range(4):
+            assert perm.apply((i, j)) == i * 4 + j
+
+
+def test_regp_transpose():
+    perm = RegP([3, 4], [2, 1])
+    # physical order is column-major of the logical tile
+    assert perm.apply((0, 0)) == 0
+    assert perm.apply((1, 0)) == 1
+    assert perm.apply((0, 1)) == 3
+    assert perm.permuted_dims() == (4, 3)
+
+
+def test_regp_inv_is_inverse():
+    perm = RegP([2, 3, 4], [3, 1, 2])
+    seen = set()
+    for i in range(2):
+        for j in range(3):
+            for k in range(4):
+                flat = perm.apply((i, j, k))
+                assert perm.inv(flat) == (i, j, k)
+                seen.add(flat)
+    assert seen == set(range(24))
+
+
+def test_regp_rejects_bad_sigma():
+    with pytest.raises(ValueError):
+        RegP([2, 2], [1, 3])
+    with pytest.raises(ValueError):
+        RegP([2, 2], [1, 1])
+    with pytest.raises(ValueError):
+        RegP([], [])
+
+
+def test_regp_rejects_out_of_range_index():
+    with pytest.raises(IndexError):
+        RegP([2, 2]).apply((2, 0))
+
+
+# -- GenP -----------------------------------------------------------------------------
+
+
+def test_genp_applies_user_functions():
+    perm = GenP([2, 3], lambda i, j: j * 2 + i, lambda f: (f % 2, f // 2), name="colmajor")
+    assert perm.apply((1, 2)) == 5
+    assert perm.inv(5) == (1, 2)
+    assert perm.check_bijective()
+
+
+def test_genp_check_bijective_detects_non_bijection():
+    bad = GenP([2, 2], lambda i, j: 0, lambda f: (0, 0))
+    assert not bad.check_bijective()
+
+
+def test_genp_dims_and_repr():
+    perm = GenP([4, 4], lambda i, j: i * 4 + j, lambda f: (f // 4, f % 4), name="rm")
+    assert perm.dims() == (4, 4)
+    assert "rm" in repr(perm)
+
+
+# -- permutation library ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8, 17])
+def test_antidiagonal_is_bijective(n):
+    assert antidiagonal(n).check_bijective()
+
+
+def test_antidiagonal_matches_paper_figure7_order():
+    perm = antidiagonal(3)
+    # anti-diagonal order of a 3x3 tile: (0,0), (0,1),(1,0), (0,2),(1,1),(2,0), ...
+    order = sorted(((perm.apply((i, j)), (i, j)) for i in range(3) for j in range(3)))
+    diagonals = [i + j for _, (i, j) in order]
+    assert diagonals == sorted(diagonals)
+
+
+def test_antidiagonal_contiguous_along_diagonal():
+    perm = antidiagonal(17)
+    positions = [perm.apply((i, 8 - i)) for i in range(9)]
+    assert sorted(positions) == list(range(min(positions), min(positions) + 9))
+
+
+@pytest.mark.parametrize("shape", [(3, 2), (2, 2, 2), (5,)])
+def test_reverse_permutation_bijective(shape):
+    assert reverse_permutation(*shape).check_bijective()
+
+
+def test_reverse_permutation_formula():
+    perm = reverse_permutation(3, 2)
+    assert perm.apply((0, 0)) == 5
+    assert perm.apply((2, 1)) == 0
+
+
+@pytest.mark.parametrize("side,rank", [(2, 2), (4, 2), (8, 2), (4, 3)])
+def test_morton_bijective(side, rank):
+    assert morton(side, rank).check_bijective()
+
+
+def test_morton_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        morton(6)
+
+
+def test_morton_locality():
+    perm = morton(4)
+    # the four elements of each aligned 2x2 quad are contiguous in Z-order
+    quad = {perm.apply((i, j)) for i in range(2) for j in range(2)}
+    assert quad == set(range(4))
+
+
+@pytest.mark.parametrize("rows,cols", [(8, 8), (16, 32), (4, 8)])
+def test_xor_swizzle_bijective(rows, cols):
+    assert xor_swizzle(rows, cols).check_bijective()
+
+
+def test_xor_swizzle_removes_column_conflicts():
+    perm = xor_swizzle(32, 32)
+    column = [perm.apply((i, 0)) % 32 for i in range(32)]
+    assert len(set(column)) == 32  # all different banks
+
+
+def test_xor_swizzle_rejects_non_power_of_two_cols():
+    with pytest.raises(ValueError):
+        xor_swizzle(8, 6)
+
+
+@pytest.mark.parametrize("side", [2, 4, 8, 16])
+def test_hilbert2d_bijective(side):
+    assert hilbert2d(side).check_bijective()
+
+
+def test_hilbert2d_neighbours_are_adjacent():
+    perm = hilbert2d(8)
+    inv = perm.inv
+    for d in range(63):
+        (x0, y0), (x1, y1) = inv(d), inv(d + 1)
+        assert abs(x0 - x1) + abs(y0 - y1) == 1
+
+
+def test_hilbert_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        hilbert2d(6)

@@ -1,0 +1,113 @@
+"""The reproduced tables and figures have the shapes the paper reports."""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import ExperimentResult, format_series, format_table
+from repro.bench.roofline import lud_roofline, stencil_roofline
+
+
+def test_table1_all_layouts_equivalent():
+    result = figures.table1()
+    assert all(row["lego_matches_cute"] for row in result.rows)
+    assert len(result.rows) == 6
+
+
+def test_table2_all_rules_simplify_and_agree_with_oracle():
+    result = figures.table2()
+    assert len(result.rows) == 7
+    assert all(row["matches_expected"] for row in result.rows)
+    assert all(row["oracle_agrees"] for row in result.rows)
+
+
+def test_table3_generation_latency_is_interactive():
+    result = figures.table3()
+    times = {row["benchmark"]: row["generation_seconds"] for row in result.rows}
+    assert len(times) == 8
+    assert all(t < 30.0 for t in times.values())
+    assert times["Softmax"] < times["Matmul (each variant)"]
+
+
+def test_table4_op_reductions():
+    result = figures.table4()
+    by_name = {row["operator"]: row for row in result.rows}
+    assert by_name["Matmul"]["original_ops"] == 31
+    assert by_name["Matmul"]["optimized_ops"] == 9
+    for row in result.rows:
+        assert row["optimized_ops"] < row["original_ops"]
+
+
+@pytest.fixture(scope="module")
+def fig11_rows():
+    return figures.fig11(sizes=(2048, 8192)).rows
+
+
+def test_fig11_lego_tracks_triton(fig11_rows):
+    for row in fig11_rows:
+        if "triton_tflops" in row:
+            assert row["lego_tflops"] == pytest.approx(row["triton_tflops"], rel=0.05)
+        elif row["benchmark"] != "layernorm_forward":
+            assert row["lego_gbs"] == pytest.approx(row["triton_gbs"], rel=0.15)
+
+
+def test_fig11_cublas_gap_closes_with_size(fig11_rows):
+    matmul_rows = {r["size"]: r for r in fig11_rows if r["benchmark"] == "matmul_fp16"}
+    gap_2k = matmul_rows[2048]["cublas_tflops"] / matmul_rows[2048]["lego_tflops"]
+    gap_8k = matmul_rows[8192]["cublas_tflops"] / matmul_rows[8192]["lego_tflops"]
+    assert gap_2k > gap_8k
+    assert gap_8k < 1.1
+
+
+def test_fig11_fused_kernels_beat_pytorch(fig11_rows):
+    for row in fig11_rows:
+        if row["benchmark"] in ("softmax", "layernorm_forward", "layernorm_backward"):
+            assert row["lego_gbs"] > row["pytorch_gbs"]
+
+
+def test_fig12a_nw_speedups_in_band():
+    result = figures.fig12a(sizes=(2048, 8192))
+    speedups = [row["speedup"] for row in result.rows]
+    assert all(1.3 <= s <= 2.2 for s in speedups)
+    assert speedups[-1] >= speedups[0]  # grows with problem size
+
+
+def test_fig12b_best_is_block64():
+    result = figures.fig12b(n=2048)
+    times = {row["lud_block"]: row["time_ms"] for row in result.rows}
+    assert times[64] == min(times.values())
+    coarsening = {row["lud_block"]: row["coarsening"] for row in result.rows}
+    assert coarsening[64] == 4 and coarsening[16] == 1
+
+
+def test_fig12c_brick_speedups_in_band():
+    result = figures.fig12c()
+    assert len(result.rows) == 6
+    for row in result.rows:
+        assert 3.2 <= row["speedup"] <= 4.0
+
+
+def test_fig13_rooflines_move_toward_the_roof():
+    lud_rows = {row["kernel"]: row for row in lud_roofline(2048)}
+    assert lud_rows["LUD block 64 (coarsen 4)"]["achieved_gflops"] > lud_rows["LUD block 16 (coarsen 1)"]["achieved_gflops"]
+    stencil_rows = stencil_roofline(512)
+    for array_row, brick_row in zip(stencil_rows[::2], stencil_rows[1::2]):
+        assert brick_row["achieved_gflops"] > array_row["achieved_gflops"]
+        assert brick_row["achieved_gflops"] <= brick_row["memory_roof_gflops"] * 1.05
+
+
+def test_table5_transpose_shape():
+    result = figures.table5(sizes=(2048, 8192))
+    for row in result.rows:
+        assert row["lego_mlir_gbs"] > row["cuda_sdk_gbs"] * 0.98
+    naive = [r for r in result.rows if r["variant"] == "naive"]
+    smem = [r for r in result.rows if r["variant"] == "smem"]
+    assert min(s["lego_mlir_gbs"] for s in smem) > 3 * max(n["lego_mlir_gbs"] for n in naive)
+
+
+def test_experiment_result_helpers():
+    result = ExperimentResult("X", "demo", rows=[{"a": 1, "b": 2.0}, {"a": 3, "b": 4.5}])
+    assert result.column("a") == [1, 3]
+    text = result.to_text()
+    assert "X: demo" in text and "4.5" in text
+    assert format_table([]) == "(no rows)"
+    assert "s1: 1" in format_series("s1", [1], [1])

@@ -1,0 +1,288 @@
+"""Execution substrates: mini-Triton, mini-CUDA and the analytic GPU model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    A100_80GB,
+    AccessPattern,
+    KernelCost,
+    access_conflict_profile,
+    bytes_per_element,
+    coalescing_efficiency,
+    cublas_matmul_time,
+    estimate_time,
+    occupancy_factor,
+    pytorch_elementwise_time,
+    roofline_point,
+    strided_traffic,
+    warp_conflict_degree,
+    warp_transactions,
+)
+from repro.minicuda import Dim3, GlobalArray, SharedArray, launch, trace_to_cost
+from repro.minitriton import compile_kernel, from_device, launch as tl_launch, to_device
+from repro.core import GroupBy, antidiagonal
+
+
+# -- mini-Triton ------------------------------------------------------------------------
+
+
+SIMPLE_KERNEL = """
+@triton.jit
+def add_one(x_ptr, y_ptr, N, BN: tl.constexpr):
+    pid = tl.program_id(axis=0)
+    offs = pid * BN + tl.arange(0, BN)
+    x = tl.load(x_ptr + offs)
+    tl.store(y_ptr + offs, x + 1.0)
+"""
+
+
+def test_minitriton_compile_and_launch():
+    fn = compile_kernel(SIMPLE_KERNEL, "add_one")
+    x = np.arange(64, dtype=np.float32)
+    xb, yb = to_device(x, "x"), to_device(np.zeros(64, dtype=np.float32), "y")
+    trace = tl_launch(fn, grid=4, kernel_args={"x_ptr": xb, "y_ptr": yb, "N": 64, "BN": 16})
+    assert np.array_equal(from_device(yb), x + 1)
+    assert trace.load_elements == 64
+    assert trace.store_elements == 64
+    assert trace.load_bytes == 64 * 4
+
+
+def test_minitriton_missing_kernel_name():
+    with pytest.raises(KeyError):
+        compile_kernel(SIMPLE_KERNEL, "not_there")
+
+
+def test_minitriton_out_of_bounds_load_raises():
+    fn = compile_kernel(SIMPLE_KERNEL, "add_one")
+    xb = to_device(np.zeros(8, dtype=np.float32), "x")
+    yb = to_device(np.zeros(8, dtype=np.float32), "y")
+    with pytest.raises(IndexError):
+        tl_launch(fn, grid=4, kernel_args={"x_ptr": xb, "y_ptr": yb, "N": 8, "BN": 16})
+
+
+MASKED_KERNEL = """
+@triton.jit
+def masked_copy(x_ptr, y_ptr, N, BN: tl.constexpr):
+    pid = tl.program_id(axis=0)
+    offs = pid * BN + tl.arange(0, BN)
+    mask = offs < N
+    x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+    tl.store(y_ptr + offs, x, mask=mask)
+"""
+
+
+def test_minitriton_masked_access_handles_partial_tiles():
+    fn = compile_kernel(MASKED_KERNEL, "masked_copy")
+    x = np.arange(10, dtype=np.float32)
+    xb, yb = to_device(x, "x"), to_device(np.zeros(10, dtype=np.float32), "y")
+    tl_launch(fn, grid=2, kernel_args={"x_ptr": xb, "y_ptr": yb, "N": 10, "BN": 8})
+    assert np.array_equal(from_device(yb), x)
+
+
+def test_minitriton_sampled_launch_scales_trace():
+    fn = compile_kernel(SIMPLE_KERNEL, "add_one")
+    x = np.zeros(1024, dtype=np.float32)
+    xb, yb = to_device(x, "x"), to_device(x.copy(), "y")
+    trace = tl_launch(fn, grid=64, kernel_args={"x_ptr": xb, "y_ptr": yb, "N": 1024, "BN": 16},
+                      sample_programs=8)
+    assert trace.load_elements == pytest.approx(1024, rel=0.01)
+
+
+def test_minitriton_dot_records_tensor_core_flops():
+    source = """
+@triton.jit
+def tiny_dot(a_ptr, b_ptr, c_ptr, N: tl.constexpr):
+    offs = tl.arange(0, N)
+    a = tl.load(a_ptr + offs[:, None] * N + offs[None, :])
+    b = tl.load(b_ptr + offs[:, None] * N + offs[None, :])
+    c = tl.dot(a.to(tl.float16), b.to(tl.float16))
+    tl.store(c_ptr + offs[:, None] * N + offs[None, :], c)
+"""
+    fn = compile_kernel(source, "tiny_dot")
+    a = np.random.randn(8, 8).astype(np.float32)
+    b = np.random.randn(8, 8).astype(np.float32)
+    ab, bb, cb = to_device(a.reshape(-1)), to_device(b.reshape(-1)), to_device(np.zeros(64, dtype=np.float32))
+    trace = tl_launch(fn, grid=1, kernel_args={"a_ptr": ab, "b_ptr": bb, "c_ptr": cb, "N": 8})
+    assert trace.tensor_core_flops == 2 * 8 ** 3
+    result = from_device(cb, (8, 8))
+    assert np.allclose(result, a.astype(np.float16).astype(np.float32) @ b.astype(np.float16).astype(np.float32), atol=0.5)
+
+
+# -- mini-CUDA ---------------------------------------------------------------------------------
+
+
+def test_dim3_normalisation():
+    assert Dim3.of(4) == Dim3(4, 1, 1)
+    assert Dim3.of((2, 3)) == Dim3(2, 3, 1)
+    assert Dim3(2, 3, 4).count == 24
+
+
+def test_block_context_thread_coordinates():
+    seen = {}
+
+    def kernel(ctx):
+        seen["tx"] = ctx.tx.copy()
+        seen["ty"] = ctx.ty.copy()
+
+    launch(kernel, grid=1, block=(4, 2))
+    assert list(seen["tx"][:4]) == [0, 1, 2, 3]
+    assert list(seen["ty"][:4]) == [0, 0, 0, 0]
+    assert list(seen["ty"][4:]) == [1, 1, 1, 1]
+
+
+def test_global_array_records_transactions_and_layout_roundtrip():
+    data = np.arange(64, dtype=np.float32).reshape(8, 8)
+    layout = GroupBy([8, 8]).OrderBy(antidiagonal(8))
+    array = GlobalArray(data, layout=layout)
+    assert np.array_equal(array.to_numpy(), data)
+
+    def kernel(ctx, buf):
+        values = buf.load(ctx, ctx.ty, ctx.tx)
+        buf.store(ctx, values + 1, ctx.ty, ctx.tx)
+
+    trace = launch(kernel, grid=1, block=(8, 8), args=(array,))
+    assert np.array_equal(array.to_numpy(), data + 1)
+    assert trace.load_elements == 64
+    assert trace.store_transactions >= 8
+
+
+def test_global_array_out_of_range_raises():
+    array = GlobalArray(np.zeros((4, 4), dtype=np.float32))
+
+    def kernel(ctx, buf):
+        buf.load(ctx, ctx.tx, ctx.tx + 10)
+
+    with pytest.raises(IndexError):
+        launch(kernel, grid=1, block=4, args=(array,))
+
+
+def test_shared_array_bank_conflicts_row_major_vs_antidiagonal():
+    results = {}
+
+    def kernel(ctx, layout, key):
+        buf = ctx.shared_array((17, 17), dtype=np.int32, layout=layout)
+        lanes = np.arange(16)
+        buf.store(np.ones(16), lanes + 1, 15 - lanes + 1)
+        results[key] = ctx.trace.smem_profile.worst_degree
+
+    launch(kernel, grid=1, block=16, args=(None, "row"))
+    launch(kernel, grid=1, block=16, args=(GroupBy([17, 17]).OrderBy(antidiagonal(17)), "anti"))
+    assert results["row"] > results["anti"] == 1
+
+
+def test_shared_array_logical_view_roundtrip():
+    def kernel(ctx, layout):
+        buf = ctx.shared_array((4, 4), dtype=np.float32, layout=layout)
+        idx = np.arange(4)
+        for row in range(4):
+            buf.store(np.full(4, row * 10) + idx, np.full(4, row), idx)
+        kernel.out = buf.to_numpy()
+
+    launch(kernel, grid=1, block=4, args=(GroupBy([4, 4]).OrderBy(antidiagonal(4)),))
+    expected = np.arange(4)[None, :] + 10 * np.arange(4)[:, None]
+    assert np.array_equal(kernel.out, expected)
+
+
+def test_launch_sampling_scales_blocks():
+    def kernel(ctx, buf):
+        buf.load(ctx, ctx.tx + ctx.blockIdx.x * 8)
+
+    array = GlobalArray(np.zeros(1024, dtype=np.float32))
+    trace = launch(kernel, grid=128, block=8, args=(array,), sample_blocks=16)
+    assert trace.load_elements == pytest.approx(1024, rel=0.01)
+    assert trace.blocks == 128
+
+
+def test_trace_to_cost_charges_moved_sectors():
+    def kernel(ctx, buf):
+        buf.load(ctx, ctx.tx * 16)  # heavily strided: one sector per element
+
+    array = GlobalArray(np.zeros(4096, dtype=np.float32))
+    trace = launch(kernel, grid=1, block=32, args=(array,))
+    cost = trace_to_cost(trace, "strided")
+    assert cost.dram_bytes == pytest.approx(32 * 32)  # 32 lanes x 32-byte sectors
+
+
+# -- analytic device model -------------------------------------------------------------------------
+
+
+def test_warp_transactions_and_coalescing():
+    contiguous = [4 * i for i in range(32)]
+    strided = [128 * i for i in range(32)]
+    assert warp_transactions(contiguous) == 4
+    assert warp_transactions(strided) == 32
+    assert coalescing_efficiency(contiguous, 4) == 1.0
+    assert coalescing_efficiency(strided, 4) == pytest.approx(4 / 32)
+
+
+def test_warp_conflict_degree_broadcast_and_conflict():
+    same_word = [7] * 32
+    assert warp_conflict_degree(same_word) == 1  # broadcast
+    conflicting = [32 * i for i in range(16)]
+    assert warp_conflict_degree(conflicting) == 16
+    assert warp_conflict_degree([]) == 1
+
+
+def test_access_conflict_profile_merge():
+    p1 = access_conflict_profile([[0, 32], [0, 1]])
+    p2 = access_conflict_profile([[0, 32, 64]])
+    merged = p1.merge(p2)
+    assert merged.accesses == 3
+    assert merged.worst_degree == 3
+    assert merged.average_degree == pytest.approx((2 + 1 + 3) / 3)
+
+
+def test_access_pattern_traffic():
+    pattern = AccessPattern(contiguous_run=32, run_stride=64, num_runs=100, element_bytes=4)
+    summary = strided_traffic([pattern], A100_80GB)
+    assert summary["useful_bytes"] == 32 * 100 * 4
+    assert summary["moved_bytes"] >= summary["useful_bytes"]
+    assert 0 < summary["efficiency"] <= 1
+
+
+def test_bytes_per_element():
+    assert bytes_per_element("fp16") == 2
+    assert bytes_per_element("fp32") == 4
+    with pytest.raises(ValueError):
+        bytes_per_element("fp128")
+
+
+def test_device_peak_flops_by_dtype():
+    assert A100_80GB.peak_flops("fp16", tensor_core=True) == 312_000.0
+    assert A100_80GB.peak_flops("fp32") == 19_500.0
+    assert A100_80GB.peak_flops("fp64") == 9_700.0
+    assert A100_80GB.smem_bandwidth_gbs > A100_80GB.dram_bandwidth_gbs
+
+
+def test_estimate_time_identifies_bound():
+    compute_heavy = KernelCost(flops=1e12, dram_bytes=1e6, blocks=1000, threads_per_block=256)
+    memory_heavy = KernelCost(flops=1e6, dram_bytes=1e10, blocks=1000, threads_per_block=256)
+    assert estimate_time(compute_heavy, A100_80GB).bound == "compute"
+    assert estimate_time(memory_heavy, A100_80GB).bound == "dram"
+
+
+def test_estimate_time_bank_conflicts_slow_smem_bound_kernels():
+    base = KernelCost(smem_bytes=1e9, blocks=1000, threads_per_block=256)
+    conflicted = KernelCost(smem_bytes=1e9, bank_conflict_factor=8.0, blocks=1000, threads_per_block=256)
+    assert estimate_time(conflicted, A100_80GB).total > estimate_time(base, A100_80GB).total * 4
+
+
+def test_occupancy_factor_penalises_tiny_grids():
+    small = KernelCost(blocks=4, threads_per_block=256)
+    large = KernelCost(blocks=10_000, threads_per_block=256)
+    assert occupancy_factor(small, A100_80GB) < occupancy_factor(large, A100_80GB)
+
+
+def test_roofline_point_memory_bound_kernel():
+    cost = KernelCost(flops=1e9, dram_bytes=1e9, blocks=1000, threads_per_block=256)
+    point = roofline_point(cost, A100_80GB)
+    assert point["arithmetic_intensity"] == pytest.approx(1.0)
+    assert point["achieved_gflops"] <= point["memory_roof_gflops"] * 1.05
+
+
+def test_baselines_are_monotone_in_size():
+    t2k = cublas_matmul_time(2048, 2048, 2048, A100_80GB)
+    t8k = cublas_matmul_time(8192, 8192, 8192, A100_80GB)
+    assert t8k > t2k
+    assert pytorch_elementwise_time(1 << 20, A100_80GB) < pytorch_elementwise_time(1 << 24, A100_80GB)
