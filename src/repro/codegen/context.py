@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 
 from ..core.slicing import LayoutSlice
 from ..symbolic import (
+    CACHE_STATS,
     CostWeights,
     Expr,
     PythonPrinter,
@@ -96,6 +97,10 @@ class CodegenContext:
         self._bindings: dict[str, object] = {}
         self._substitutions: dict[str, str] = {}
         self.generation_seconds: float | None = None
+        #: cache-counter increments observed during the last :meth:`lower`
+        self.last_cache_stats: dict[str, object] = {}
+        self._lowered: dict[str, LoweredBinding] | None = None
+        self._lowered_key: tuple | None = None
 
     # -- symbol declarations -----------------------------------------------------
 
@@ -150,13 +155,47 @@ class CodegenContext:
 
     # -- lowering -----------------------------------------------------------------
 
+    def _lowering_key(self) -> tuple:
+        """Identity key of the inputs that determine the lowering result."""
+        binding_ids = []
+        for name, value in self._bindings.items():
+            if isinstance(value, Expr):
+                binding_ids.append((name, value._id))
+            elif isinstance(value, LayoutSlice):
+                # slices are mutable: include the offset expression identity
+                # so reassigning it invalidates the cached lowering
+                binding_ids.append((name, id(value), value.offset._id))
+            else:
+                binding_ids.append((name, id(value)))
+        return (
+            tuple(binding_ids),
+            tuple(sorted(self._substitutions.items())),
+            self.pre_expand,
+            self.weights,
+            self.env.fingerprint,
+        )
+
     def lower(self) -> dict[str, LoweredBinding]:
-        """Simplify every binding; records the wall-clock generation time."""
+        """Simplify every binding; records the wall-clock generation time.
+
+        The result is cached: as long as no binding, substitution or
+        environment fact changed since the previous call, the previously
+        lowered bindings are returned without re-simplifying anything
+        (``render`` and ``total_ops`` both call ``lower``).
+        """
+        if self._lowered is not None and self._lowered_key == self._lowering_key():
+            return self._lowered
         started = time.perf_counter()
+        stats_before = CACHE_STATS.snapshot()
         lowered: dict[str, LoweredBinding] = {}
         for name, value in self._bindings.items():
             lowered[name] = self._lower_one(name, value)
         self.generation_seconds = time.perf_counter() - started
+        self.last_cache_stats = CACHE_STATS.delta(stats_before, CACHE_STATS.snapshot())
+        self._lowered = lowered
+        # Key computed after lowering: contribute_env may have added facts on
+        # the first pass, and the key must reflect the settled environment.
+        self._lowered_key = self._lowering_key()
         return lowered
 
     def _lower_one(self, name: str, value) -> LoweredBinding:

@@ -10,7 +10,10 @@ Public surface of the engine used throughout the LEGO reproduction:
 * proofs — :func:`prove_le`, :func:`prove_lt`, :func:`brute_force_check`;
 * cost model — :func:`operation_count`, :func:`choose_cheapest`;
 * printers — :class:`PythonPrinter`, :class:`TritonPrinter`, :class:`CPrinter`,
-  :class:`MLIRArithPrinter`.
+  :class:`MLIRArithPrinter`;
+* caching — expressions are hash-consed (interned); :func:`cache_statistics`
+  reports hit rates of the rewrite/proof/range/print memo layers and
+  :data:`RULE_REGISTRY` lists the Table II rewrite rules as data.
 """
 
 from .expr import (
@@ -29,9 +32,11 @@ from .expr import (
     Mul,
     Var,
     as_expr,
+    intern_table_size,
     symbols,
 )
 from .ranges import Interval, RangeEnv
+from .stats import CACHE_STATS, CacheCounters, cache_statistics, reset_cache_statistics
 from .symranges import SymInterval, SymbolicEnv
 from .prover import (
     brute_force_check,
@@ -44,7 +49,14 @@ from .prover import (
     prove_nonneg,
     prove_positive,
 )
-from .simplify import expand, simplify, simplify_fixpoint
+from .simplify import (
+    RULE_REGISTRY,
+    RewriteRule,
+    expand,
+    rules_for,
+    simplify,
+    simplify_fixpoint,
+)
 from .cost import CostWeights, choose_cheapest, operation_count
 from .printers import CPrinter, MLIRArithPrinter, PythonPrinter, TritonPrinter
 
@@ -81,6 +93,14 @@ __all__ = [
     "expand",
     "simplify",
     "simplify_fixpoint",
+    "RewriteRule",
+    "RULE_REGISTRY",
+    "rules_for",
+    "CACHE_STATS",
+    "CacheCounters",
+    "cache_statistics",
+    "reset_cache_statistics",
+    "intern_table_size",
     "CostWeights",
     "choose_cheapest",
     "operation_count",

@@ -1,4 +1,4 @@
-"""Integer symbolic expression IR.
+"""Integer symbolic expression IR (hash-consed).
 
 This module is the foundation of the LEGO reproduction's code-generation
 pipeline.  The original paper embeds its layout algebra into SymPy; this
@@ -13,15 +13,30 @@ arithmetic that layout lowering actually needs, from scratch:
 * an operation-count used by the cost model that selects between expanded
   and unexpanded index expressions (Section IV-A of the paper).
 
-All expressions are immutable and hashable.  Arithmetic on expressions is
-available through the usual Python operators (``+``, ``-``, ``*``, ``//``,
-``%``) and mirrors Python's *floor* semantics for division and modulo, which
-is also what the generated Triton / CUDA / MLIR code assumes for the
-non-negative index ranges produced by layouts.
+All expressions are immutable, hashable and **interned** (hash-consed):
+construction routes every node through a global intern table, so two
+structurally identical expressions are the *same object*.  Structural
+equality therefore degenerates to a pointer comparison in the common case,
+dictionary lookups use a hash precomputed at construction time, and the
+rewrite engine (:mod:`repro.symbolic.simplify`), the prover and the printers
+key their memo tables on the per-node integer :attr:`Expr.expr_id`.
+
+The one wrinkle is :class:`Var.meta`: rendering hints do not participate in
+equality (two variables with the same name are the same variable), but they
+must not be lost by interning either, so the intern key — unlike the
+equality key — includes the meta payload.  Variables that differ only in
+``meta`` are thus distinct objects that still compare equal; compound nodes
+fall back to a cached structural-key comparison for exactly this case.
+
+Arithmetic on expressions is available through the usual Python operators
+(``+``, ``-``, ``*``, ``//``, ``%``) and mirrors Python's *floor* semantics
+for division and modulo, which is also what the generated Triton / CUDA /
+MLIR code assumes for the non-negative index ranges produced by layouts.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Iterable, Iterator, Mapping, Sequence, Union
 
 __all__ = [
@@ -41,9 +56,34 @@ __all__ = [
     "ExprLike",
     "as_expr",
     "symbols",
+    "intern_table_size",
 ]
 
 ExprLike = Union["Expr", int]
+
+
+# ---------------------------------------------------------------------------
+# intern table
+# ---------------------------------------------------------------------------
+
+#: canonical instance per structural identity (including ``Var.meta``)
+_INTERN: dict[tuple, "Expr"] = {}
+
+#: monotonically increasing ids; ``Expr.expr_id`` keys identity-based caches
+_IDS = itertools.count()
+
+
+def intern_table_size() -> int:
+    """Number of live interned expression nodes (cache-statistics hook)."""
+    return len(_INTERN)
+
+
+def _finalize(obj: "Expr", ekey: tuple) -> "Expr":
+    """Install the cached structural key, hash and id on a fresh node."""
+    object.__setattr__(obj, "_ekey", ekey)
+    object.__setattr__(obj, "_hash", hash(ekey))
+    object.__setattr__(obj, "_id", next(_IDS))
+    return obj
 
 
 def as_expr(value: ExprLike) -> "Expr":
@@ -61,21 +101,22 @@ def as_expr(value: ExprLike) -> "Expr":
 class Expr:
     """Base class of all symbolic integer expressions."""
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_ekey", "_id")
 
     # -- construction helpers -------------------------------------------------
 
     def _key(self) -> tuple:
-        """A structural key used for hashing, equality and ordering."""
-        raise NotImplementedError
+        """The structural key used for hashing, equality and ordering."""
+        return self._ekey
+
+    @property
+    def expr_id(self) -> int:
+        """Stable integer identity; interned nodes share ids, so this is the
+        preferred key for memo tables (O(1), no tree walks)."""
+        return self._id
 
     def __hash__(self) -> int:
-        try:
-            return self._hash
-        except AttributeError:
-            h = hash(self._key())
-            object.__setattr__(self, "_hash", h)
-            return h
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -84,7 +125,12 @@ class Expr:
             if isinstance(other, int):
                 return isinstance(self, Const) and self.value == other
             return NotImplemented
-        return type(self) is type(other) and self._key() == other._key()
+        # Interning makes structurally identical nodes pointer-identical
+        # except when a Var differs only in meta; fall back to the cached
+        # structural key for that case.
+        if self._hash != other._hash:
+            return False
+        return type(self) is type(other) and self._ekey == other._ekey
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
@@ -272,7 +318,7 @@ class Expr:
 
     def sort_key(self) -> tuple:
         """Deterministic ordering key used to canonicalise commutative nodes."""
-        return (_TYPE_ORDER.get(type(self).__name__, 99), self._key())
+        return (_TYPE_ORDER.get(type(self).__name__, 99), self._ekey)
 
 
 class Const(Expr):
@@ -280,18 +326,23 @@ class Const(Expr):
 
     __slots__ = ("value",)
 
-    def __init__(self, value: int):
+    def __new__(cls, value: int) -> "Const":
         if isinstance(value, bool):
             value = int(value)
         if not isinstance(value, int):
             raise TypeError(f"Const requires an int, got {type(value).__name__}")
-        object.__setattr__(self, "value", value)
+        key = ("Const", value)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "value", value)
+        _finalize(obj, key)
+        _INTERN[key] = obj
+        return obj
 
     def __setattr__(self, name, value):  # immutability
         raise AttributeError("Const is immutable")
-
-    def _key(self) -> tuple:
-        return ("Const", self.value)
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         return self.value
@@ -307,22 +358,36 @@ class Var(Expr):
     Triton printer renders a variable tagged as an ``arange`` atom as
     ``tl.arange(lo, hi)`` with broadcasting suffixes).  ``meta`` does not
     participate in equality or hashing: two variables with the same name are
-    the same variable.
+    the same variable.  It *does* participate in interning, so a variable's
+    hints survive hash-consing.
     """
 
     __slots__ = ("name", "meta")
 
-    def __init__(self, name: str, meta: Mapping[str, object] | None = None):
+    def __new__(cls, name: str, meta: Mapping[str, object] | None = None) -> "Var":
         if not isinstance(name, str) or not name:
             raise TypeError("Var requires a non-empty string name")
-        object.__setattr__(self, "name", name)
-        object.__setattr__(self, "meta", dict(meta) if meta else {})
+        meta_dict = dict(meta) if meta else {}
+        intern_key: tuple | None
+        try:
+            intern_key = ("Var", name, tuple(sorted(meta_dict.items())))
+            hash(intern_key)
+        except TypeError:
+            intern_key = None  # unhashable meta payload: keep a unique node
+        if intern_key is not None:
+            cached = _INTERN.get(intern_key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "name", name)
+        object.__setattr__(obj, "meta", meta_dict)
+        _finalize(obj, ("Var", name))
+        if intern_key is not None:
+            _INTERN[intern_key] = obj
+        return obj
 
     def __setattr__(self, name, value):
         raise AttributeError("Var is immutable")
-
-    def _key(self) -> tuple:
-        return ("Var", self.name)
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         env = env or {}
@@ -355,8 +420,19 @@ class _NaryExpr(Expr):
     def args(self) -> tuple[Expr, ...]:
         return self._args
 
-    def _key(self) -> tuple:
-        return (type(self).__name__,) + tuple(a._key() for a in self._args)
+    @classmethod
+    def _make(cls, args: tuple[Expr, ...], extra: tuple = ()) -> Expr:
+        """Intern-aware constructor for canonicalised argument tuples."""
+        key = (cls.__name__,) + extra + tuple(a._id for a in args)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "_args", args)
+        ekey = (cls.__name__,) + extra + tuple(a._ekey for a in args)
+        _finalize(obj, ekey)
+        _INTERN[key] = obj
+        return obj
 
 
 class Add(_NaryExpr):
@@ -403,9 +479,7 @@ class Add(_NaryExpr):
         if len(final_terms) == 1:
             return final_terms[0]
         final_terms.sort(key=lambda e: e.sort_key())
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "_args", tuple(final_terms))
-        return obj
+        return cls._make(tuple(final_terms))
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         total = None
@@ -446,9 +520,7 @@ class Mul(_NaryExpr):
             factors = [Const(const_total)] + factors
         if len(factors) == 1:
             return factors[0]
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "_args", tuple(factors))
-        return obj
+        return cls._make(tuple(factors))
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         total = None
@@ -479,10 +551,10 @@ def _split_coeff(term: Expr) -> tuple[int, Expr]:
     return 1, term
 
 
-class FloorDiv(Expr):
+class FloorDiv(_NaryExpr):
     """Floor (integer) division ``a // b``."""
 
-    __slots__ = ("_args",)
+    __slots__ = ()
 
     def __new__(cls, numerator: ExprLike, denominator: ExprLike) -> Expr:
         num = as_expr(numerator)
@@ -496,16 +568,7 @@ class FloorDiv(Expr):
             return Const(num.value // den.value)
         if isinstance(num, Const) and num.value == 0:
             return Const(0)
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "_args", (num, den))
-        return obj
-
-    def __setattr__(self, name, value):
-        raise AttributeError("FloorDiv is immutable")
-
-    @property
-    def args(self) -> tuple[Expr, ...]:
-        return self._args
+        return cls._make((num, den))
 
     @property
     def numerator(self) -> Expr:
@@ -515,9 +578,6 @@ class FloorDiv(Expr):
     def denominator(self) -> Expr:
         return self._args[1]
 
-    def _key(self) -> tuple:
-        return ("FloorDiv", self._args[0]._key(), self._args[1]._key())
-
     def evaluate(self, env: Mapping[str, int] | None = None):
         return self._args[0].evaluate(env) // self._args[1].evaluate(env)
 
@@ -525,10 +585,10 @@ class FloorDiv(Expr):
         return FloorDiv(args[0], args[1])
 
 
-class Mod(Expr):
+class Mod(_NaryExpr):
     """Euclidean-style modulo ``a % b`` (Python semantics)."""
 
-    __slots__ = ("_args",)
+    __slots__ = ()
 
     def __new__(cls, value: ExprLike, modulus: ExprLike) -> Expr:
         val = as_expr(value)
@@ -542,16 +602,7 @@ class Mod(Expr):
             return Const(val.value % mod.value)
         if isinstance(val, Const) and val.value == 0:
             return Const(0)
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "_args", (val, mod))
-        return obj
-
-    def __setattr__(self, name, value):
-        raise AttributeError("Mod is immutable")
-
-    @property
-    def args(self) -> tuple[Expr, ...]:
-        return self._args
+        return cls._make((val, mod))
 
     @property
     def value_expr(self) -> Expr:
@@ -560,9 +611,6 @@ class Mod(Expr):
     @property
     def modulus(self) -> Expr:
         return self._args[1]
-
-    def _key(self) -> tuple:
-        return ("Mod", self._args[0]._key(), self._args[1]._key())
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         return self._args[0].evaluate(env) % self._args[1].evaluate(env)
@@ -621,9 +669,7 @@ def _build_minmax(cls, operands: Sequence[ExprLike], pick) -> Expr:
     if len(flat) == 1:
         return flat[0]
     flat.sort(key=lambda e: e.sort_key())
-    obj = object.__new__(cls)
-    object.__setattr__(obj, "_args", tuple(flat))
-    return obj
+    return cls._make(tuple(flat))
 
 
 _CMP_EVAL = {
@@ -636,23 +682,26 @@ _CMP_EVAL = {
 }
 
 
-class Cmp(Expr):
+class Cmp(_NaryExpr):
     """An integer comparison producing a boolean (0/1) value."""
 
-    __slots__ = ("op", "_args")
+    __slots__ = ("op",)
 
-    def __init__(self, op: str, lhs: ExprLike, rhs: ExprLike):
+    def __new__(cls, op: str, lhs: ExprLike, rhs: ExprLike) -> "Cmp":
         if op not in _CMP_EVAL:
             raise ValueError(f"unknown comparison operator {op!r}")
-        object.__setattr__(self, "op", op)
-        object.__setattr__(self, "_args", (as_expr(lhs), as_expr(rhs)))
-
-    def __setattr__(self, name, value):
-        raise AttributeError("Cmp is immutable")
-
-    @property
-    def args(self) -> tuple[Expr, ...]:
-        return self._args
+        left = as_expr(lhs)
+        right = as_expr(rhs)
+        key = ("Cmp", op, left._id, right._id)
+        cached = _INTERN.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "op", op)
+        object.__setattr__(obj, "_args", (left, right))
+        _finalize(obj, ("Cmp", op, left._ekey, right._ekey))
+        _INTERN[key] = obj
+        return obj
 
     @property
     def lhs(self) -> Expr:
@@ -661,9 +710,6 @@ class Cmp(Expr):
     @property
     def rhs(self) -> Expr:
         return self._args[1]
-
-    def _key(self) -> tuple:
-        return ("Cmp", self.op, self._args[0]._key(), self._args[1]._key())
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         return _CMP_EVAL[self.op](self._args[0].evaluate(env), self._args[1].evaluate(env))
@@ -683,9 +729,7 @@ class BoolAnd(_NaryExpr):
             return Const(1)
         if len(flat) == 1:
             return flat[0]
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "_args", tuple(flat))
-        return obj
+        return cls._make(tuple(flat))
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         result = True
@@ -708,9 +752,7 @@ class BoolOr(_NaryExpr):
             return Const(0)
         if len(flat) == 1:
             return flat[0]
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "_args", tuple(flat))
-        return obj
+        return cls._make(tuple(flat))
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         result = False
@@ -722,23 +764,13 @@ class BoolOr(_NaryExpr):
         return BoolOr(*args)
 
 
-class BoolNot(Expr):
+class BoolNot(_NaryExpr):
     """Logical negation of a predicate."""
 
-    __slots__ = ("_args",)
+    __slots__ = ()
 
-    def __init__(self, operand: ExprLike):
-        object.__setattr__(self, "_args", (as_expr(operand),))
-
-    def __setattr__(self, name, value):
-        raise AttributeError("BoolNot is immutable")
-
-    @property
-    def args(self) -> tuple[Expr, ...]:
-        return self._args
-
-    def _key(self) -> tuple:
-        return ("BoolNot", self._args[0]._key())
+    def __new__(cls, operand: ExprLike) -> "BoolNot":
+        return cls._make((as_expr(operand),))  # type: ignore[return-value]
 
     def evaluate(self, env: Mapping[str, int] | None = None):
         value = self._args[0].evaluate(env)

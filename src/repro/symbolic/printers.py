@@ -12,12 +12,17 @@ module provides the reproduction's equivalents:
 * :class:`MLIRArithPrinter` — a straight-line sequence of ``arith`` dialect
   operations in SSA form, used by the MLIR integration.
 
-Printers are stateless; ``doprint`` may be called repeatedly.
+``doprint`` may be called repeatedly; each printer keeps an identity-keyed
+memo (expressions are hash-consed, so ``Expr.expr_id`` identifies a subtree)
+that makes re-printing shared subtrees O(1).  The memo is private to the
+printer instance because the rendered text depends on its substitutions.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
+
+from .stats import CACHE_STATS
 
 from .expr import (
     Add,
@@ -56,15 +61,35 @@ class PythonPrinter:
     def __init__(self, substitutions: Mapping[str, str] | None = None):
         #: optional variable-name -> source-text substitutions
         self.substitutions = dict(substitutions or {})
+        #: identity-keyed memo: (expr_id, parent precedence) -> rendered text
+        self._memo: dict[tuple[int, int], str] = {}
+        self._memo_subs: tuple | None = None
 
     # -- public API ------------------------------------------------------------
 
     def doprint(self, expr: Expr) -> str:
+        # substitutions is a public mutable attribute; drop the memo whenever
+        # it changed so cached text never reflects stale substitutions
+        subs_key = tuple(sorted(self.substitutions.items()))
+        if subs_key != self._memo_subs:
+            self._memo.clear()
+            self._memo_subs = subs_key
         return self._print(expr, _PREC_ADD)
 
     # -- dispatch ---------------------------------------------------------------
 
     def _print(self, expr: Expr, parent_prec: int) -> str:
+        key = (expr._id, parent_prec)
+        cached = self._memo.get(key)
+        if cached is not None:
+            CACHE_STATS.print_hits += 1
+            return cached
+        text = self._print_uncached(expr, parent_prec)
+        CACHE_STATS.print_misses += 1
+        self._memo[key] = text
+        return text
+
+    def _print_uncached(self, expr: Expr, parent_prec: int) -> str:
         if isinstance(expr, Const):
             text = str(expr.value)
             if expr.value < 0 and parent_prec > _PREC_ADD:
@@ -194,7 +219,9 @@ class MLIRArithPrinter:
         self.index_type = index_type
         self._lines: list[str] = []
         self._counter = 0
-        self._cache: dict[Expr, str] = {}
+        # identity-keyed (hash-consed ids): shared subtrees lower to one SSA
+        # value without any structural hashing of the tree
+        self._cache: dict[int, str] = {}
         self._const_cache: dict[int, str] = {}
 
     def _fresh(self, prefix: str = "v") -> str:
@@ -212,10 +239,13 @@ class MLIRArithPrinter:
     # -- recursive lowering ------------------------------------------------------
 
     def _lower(self, expr: Expr) -> str:
-        if expr in self._cache:
-            return self._cache[expr]
+        cached = self._cache.get(expr._id)
+        if cached is not None:
+            CACHE_STATS.print_hits += 1
+            return cached
         name = self._lower_uncached(expr)
-        self._cache[expr] = name
+        CACHE_STATS.print_misses += 1
+        self._cache[expr._id] = name
         return name
 
     def _lower_uncached(self, expr: Expr) -> str:

@@ -16,6 +16,12 @@ prover that is complete for the queries layout lowering actually generates:
 
 All functions return ``True`` only when the property is proven; ``False``
 means "unknown", never "disproven".
+
+Every public query is memoised on the environment's proof cache, keyed by
+``(query kind, expression identity)`` — expressions are hash-consed, so the
+same side condition asked again by a later simplification pass (the engine's
+former hot spot) is a dictionary lookup.  The cache is dropped whenever a new
+fact is declared on the environment.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from .expr import (
     Var,
     as_expr,
 )
+from .stats import CACHE_STATS
 from .symranges import SymbolicEnv
 
 __all__ = [
@@ -62,11 +69,28 @@ def _var_lo_const(var: Var, env: SymbolicEnv) -> Optional[int]:
     return None
 
 
+# proof-cache key tags (paired with expression ids)
+_NONNEG, _POSITIVE, _NONZERO, _LE, _PROVE_NONNEG, _PROVE_POSITIVE = range(6)
+
+
 def is_nonneg(expr: ExprLike, env: SymbolicEnv) -> bool:
     """Structurally prove ``expr >= 0`` under the environment's assumptions."""
     expr = as_expr(expr)
     if isinstance(expr, Const):
         return expr.value >= 0
+    cache = env._proof_cache
+    key = (_NONNEG, expr._id)
+    hit = cache.get(key)
+    if hit is not None:
+        CACHE_STATS.proof_hits += 1
+        return hit
+    result = _is_nonneg_impl(expr, env)
+    CACHE_STATS.proof_misses += 1
+    cache[key] = result
+    return result
+
+
+def _is_nonneg_impl(expr: Expr, env: SymbolicEnv) -> bool:
     if isinstance(expr, Var):
         lo = _var_lo_const(expr, env)
         return lo is not None and lo >= 0
@@ -120,6 +144,19 @@ def is_positive(expr: ExprLike, env: SymbolicEnv) -> bool:
     expr = as_expr(expr)
     if isinstance(expr, Const):
         return expr.value > 0
+    cache = env._proof_cache
+    key = (_POSITIVE, expr._id)
+    hit = cache.get(key)
+    if hit is not None:
+        CACHE_STATS.proof_hits += 1
+        return hit
+    result = _is_positive_impl(expr, env)
+    CACHE_STATS.proof_misses += 1
+    cache[key] = result
+    return result
+
+
+def _is_positive_impl(expr: Expr, env: SymbolicEnv) -> bool:
     if env.is_declared_positive(expr):
         return True
     if isinstance(expr, Var):
@@ -155,15 +192,34 @@ def is_nonzero(expr: ExprLike, env: SymbolicEnv) -> bool:
     expr = as_expr(expr)
     if isinstance(expr, Const):
         return expr.value != 0
-    if is_positive(expr, env):
-        return True
-    neg = as_expr(Mul(-1, expr))
-    return is_positive(neg, env)
+    cache = env._proof_cache
+    key = (_NONZERO, expr._id)
+    hit = cache.get(key)
+    if hit is not None:
+        CACHE_STATS.proof_hits += 1
+        return hit
+    result = is_positive(expr, env) or is_positive(as_expr(Mul(-1, expr)), env)
+    CACHE_STATS.proof_misses += 1
+    cache[key] = result
+    return result
 
 
 def prove_nonneg(expr: ExprLike, env: SymbolicEnv) -> bool:
     """Prove ``expr >= 0`` using structure first, then range bounds."""
     expr = as_expr(expr)
+    cache = env._proof_cache
+    key = (_PROVE_NONNEG, expr._id)
+    hit = cache.get(key)
+    if hit is not None:
+        CACHE_STATS.proof_hits += 1
+        return hit
+    result = _prove_nonneg_impl(expr, env)
+    CACHE_STATS.proof_misses += 1
+    cache[key] = result
+    return result
+
+
+def _prove_nonneg_impl(expr: Expr, env: SymbolicEnv) -> bool:
     if is_nonneg(expr, env):
         return True
     lo = env.range_of(expr).lo
@@ -175,6 +231,19 @@ def prove_nonneg(expr: ExprLike, env: SymbolicEnv) -> bool:
 def prove_positive(expr: ExprLike, env: SymbolicEnv) -> bool:
     """Prove ``expr > 0`` using structure first, then range bounds."""
     expr = as_expr(expr)
+    cache = env._proof_cache
+    key = (_PROVE_POSITIVE, expr._id)
+    hit = cache.get(key)
+    if hit is not None:
+        CACHE_STATS.proof_hits += 1
+        return hit
+    result = _prove_positive_impl(expr, env)
+    CACHE_STATS.proof_misses += 1
+    cache[key] = result
+    return result
+
+
+def _prove_positive_impl(expr: Expr, env: SymbolicEnv) -> bool:
     if is_positive(expr, env):
         return True
     lo = env.range_of(expr).lo
@@ -189,6 +258,19 @@ def prove_le(lhs: ExprLike, rhs: ExprLike, env: SymbolicEnv) -> bool:
     rhs = as_expr(rhs)
     if lhs == rhs:
         return True
+    cache = env._proof_cache
+    key = (_LE, lhs._id, rhs._id)
+    hit = cache.get(key)
+    if hit is not None:
+        CACHE_STATS.proof_hits += 1
+        return hit
+    result = _prove_le_impl(lhs, rhs, env)
+    CACHE_STATS.proof_misses += 1
+    cache[key] = result
+    return result
+
+
+def _prove_le_impl(lhs: Expr, rhs: Expr, env: SymbolicEnv) -> bool:
     # Direct difference: canonicalisation cancels shared terms.
     if _difference_nonneg(rhs - lhs, env):
         return True

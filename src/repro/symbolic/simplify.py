@@ -25,6 +25,20 @@ requires (cf. Figure 10):
   declared ``d | x`` (e.g. ``BK | K`` for full-tile matmul configurations);
 * ``min``/``max`` collapsing when one side is provably dominant.
 
+Architecture
+------------
+
+The rules live in an explicit registry (:data:`RULE_REGISTRY`): each is a
+:class:`RewriteRule` — a named, documented pattern function attached to one
+node type — rather than a branch in a nested if-chain.  The engine applies
+them through a **memoised bottom-up rewriter**: expression nodes are
+hash-consed (:mod:`repro.symbolic.expr`), so one single-pass rewrite result
+per node id is cached on the :class:`SymbolicEnv` (whose caches are dropped
+whenever an assumption is declared — the ``(expr_id, env_fingerprint)``
+scheme).  :func:`simplify_fixpoint` additionally caches the final fixpoint per
+root expression, making repeated lowering of the same index expressions — the
+hot path of Tables III/IV — effectively free.
+
 ``expand`` distributes products over sums; the code-generation pipeline
 generates both the expanded and unexpanded simplified forms and picks the one
 with the lower operation count (Section IV-A's cost model).
@@ -32,7 +46,8 @@ with the lower operation count (Section IV-A's cost model).
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from .expr import (
     Add,
@@ -52,141 +67,283 @@ from .expr import (
     as_expr,
 )
 from .prover import is_nonzero, is_positive, prove_le, prove_lt, prove_nonneg
+from .stats import CACHE_STATS
 from .symranges import SymbolicEnv
 
-__all__ = ["simplify", "expand", "simplify_fixpoint"]
+__all__ = [
+    "simplify",
+    "expand",
+    "simplify_fixpoint",
+    "RewriteRule",
+    "RULE_REGISTRY",
+    "rules_for",
+]
 
 _MAX_PASSES = 8
+_MAX_DEPTH = 24
+
+
+# ---------------------------------------------------------------------------
+# rule registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """One named rewrite: a pattern function attached to a node type.
+
+    ``fn(expr, env, rw)`` returns the rewritten expression, or ``None`` when
+    the rule does not fire.  ``rw`` is the active :class:`_Rewriter`; rules
+    use it to re-enter the engine on freshly built sub-terms (e.g. rule 2
+    collapses the remainder division it emits).
+    """
+
+    name: str
+    node_type: type
+    description: str
+    fn: Callable[[Expr, SymbolicEnv, "_Rewriter"], Optional[Expr]]
+
+
+#: all rules, in registration (= application) order
+RULE_REGISTRY: list[RewriteRule] = []
+
+_RULES_BY_TYPE: dict[type, tuple[RewriteRule, ...]] = {}
+
+
+def rules_for(node_type: type) -> tuple[RewriteRule, ...]:
+    """The registered rules for one node type, in application order."""
+    return _RULES_BY_TYPE.get(node_type, ())
+
+
+def _rule(node_type: type, name: str, description: str):
+    """Class decorator registering a pattern function as a :class:`RewriteRule`."""
+
+    def register(fn):
+        rule = RewriteRule(name=name, node_type=node_type, description=description, fn=fn)
+        RULE_REGISTRY.append(rule)
+        _RULES_BY_TYPE[node_type] = _RULES_BY_TYPE.get(node_type, ()) + (rule,)
+        return fn
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# the memoised rewrite engine
+# ---------------------------------------------------------------------------
+
+
+class _Rewriter:
+    """One simplification pass: bottom-up, memoised on the environment.
+
+    The single-pass result for a node is a pure function of the node identity
+    and the environment's facts, so it is cached in
+    ``env._simplify_cache[expr_id]``.  Results whose computation ran into the
+    depth cutoff are not cached (they would poison shallower queries).
+    """
+
+    __slots__ = ("env", "_cutoff_hit")
+
+    def __init__(self, env: SymbolicEnv):
+        self.env = env
+        self._cutoff_hit = False
+
+    def rewrite(self, expr: Expr, depth: int = 0) -> Expr:
+        if isinstance(expr, (Const, Var)):
+            return expr
+        cache = self.env._simplify_cache
+        cached = cache.get(expr._id)
+        if cached is not None:
+            CACHE_STATS.simplify_hits += 1
+            return cached
+        if depth > _MAX_DEPTH:
+            self._cutoff_hit = True
+            return expr
+        outer_cutoff = self._cutoff_hit
+        self._cutoff_hit = False
+        new = expr.map_children(lambda child: self.rewrite(child, depth + 1))
+        result = self.apply_rules(type(new), new)
+        subtree_clean = not self._cutoff_hit
+        self._cutoff_hit = self._cutoff_hit or outer_cutoff
+        if subtree_clean:
+            CACHE_STATS.simplify_misses += 1
+            cache[expr._id] = result
+        return result
+
+    def apply_rules(self, node_type: type, expr: Expr) -> Expr:
+        """Apply ``node_type``'s rules to ``expr``, restarting after each hit.
+
+        Mirrors the historical recursive structure: a rule that produces a
+        node of the same type re-enters the rule list from the top (e.g. the
+        modulo-split rule re-examines its own output); a different node type
+        is returned as-is, constructor canonicalisation included.
+        """
+        rules = _RULES_BY_TYPE.get(node_type)
+        if not rules:
+            return expr
+        for _ in range(64):  # structural-termination backstop
+            if not isinstance(expr, node_type):
+                return expr
+            for rule in rules:
+                out = rule.fn(expr, self.env, self)
+                if out is not None and out is not expr:
+                    CACHE_STATS.count_rule(rule.name)
+                    expr = out
+                    break
+            else:
+                return expr
+        return expr
 
 
 def simplify(expr: ExprLike, env: SymbolicEnv | None = None, _depth: int = 0) -> Expr:
     """Simplify ``expr`` under the assumptions in ``env`` (single pass, bottom-up)."""
     expr = as_expr(expr)
     env = env or SymbolicEnv()
-    return _simplify_node(expr, env, _depth)
+    return _Rewriter(env).rewrite(expr, _depth)
 
 
 def simplify_fixpoint(expr: ExprLike, env: SymbolicEnv | None = None) -> Expr:
-    """Apply :func:`simplify` repeatedly until the expression stops changing."""
+    """Apply :func:`simplify` repeatedly until the expression stops changing.
+
+    Fixpoints are memoised per root expression on the environment: every
+    intermediate form seen along the way maps to the same final result, so
+    re-simplifying either the original or an already-simplified expression is
+    a dictionary lookup.
+    """
     expr = as_expr(expr)
     env = env or SymbolicEnv()
+    cache = env._fixpoint_cache
+    cached = cache.get(expr._id)
+    if cached is not None:
+        CACHE_STATS.fixpoint_hits += 1
+        return cached
+    CACHE_STATS.fixpoint_misses += 1
+    chain = [expr]
+    current = expr
+    converged = False
     for _ in range(_MAX_PASSES):
-        new = _simplify_node(expr, env, 0)
-        if new == expr:
-            return new
-        expr = new
-    return expr
-
-
-def _simplify_node(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
-    if depth > 24 or isinstance(expr, (Const, Var)):
-        return expr
-    # Simplify children first (the n-ary constructors re-canonicalise).
-    expr = expr.map_children(lambda child: _simplify_node(child, env, depth + 1))
-    if isinstance(expr, Mod):
-        return _simplify_mod(expr, env, depth)
-    if isinstance(expr, FloorDiv):
-        return _simplify_floordiv(expr, env, depth)
-    if isinstance(expr, Add):
-        return _simplify_add(expr, env, depth)
-    if isinstance(expr, Mul):
-        return _simplify_mul(expr, env, depth)
-    if isinstance(expr, Min):
-        return _simplify_min(expr, env)
-    if isinstance(expr, Max):
-        return _simplify_max(expr, env)
-    if isinstance(expr, (Cmp, BoolAnd, BoolOr, BoolNot)):
-        return expr
-    return expr
+        rewriter = _Rewriter(env)
+        new = rewriter.rewrite(current, 0)
+        if new is current or new == current:
+            current = new
+            converged = True
+            break
+        current = new
+        chain.append(new)
+    if converged:
+        # Every intermediate form reaches the same fixpoint, so all of them
+        # map to it.  A chain that exhausted the pass budget is NOT cached:
+        # querying an intermediate directly would run further passes, and the
+        # cache must never return a less-simplified answer than a cold call.
+        for seen in chain:
+            cache[seen._id] = current
+    return current
 
 
 # ---------------------------------------------------------------------------
-# modulo
+# modulo rules
 # ---------------------------------------------------------------------------
 
 
-def _simplify_mod(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
-    if not isinstance(expr, Mod):
-        return expr
-    value, modulus = expr.value_expr, expr.modulus
-
-    # Divisibility fact: d | x  =>  x % d == 0.
-    if env.divides(modulus, value):
+@_rule(Mod, "mod-divisible-zero", "x % d -> 0 when d | x (declared or structural)")
+def _mod_divisible_zero(expr: Mod, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    if env.divides(expr.modulus, expr.value_expr):
         return Const(0)
+    return None
 
-    # Rule 1: (d*q + r) % d -> r % d  when d != 0.
-    if is_nonzero(modulus, env):
-        multiple, rest = _split_multiple_of(value, modulus, env)
-        if multiple is not None:
-            return _simplify_mod(Mod(rest, modulus), env, depth + 1) if not isinstance(
-                rest, Const
-            ) or rest.value != 0 else Const(0)
 
-    # Rule 5: x % a -> x  when a > 0 and 0 <= x < a.
-    if is_positive(modulus, env) and prove_nonneg(value, env):
-        value_hi = env.range_of(value).hi
-        if value_hi is not None and prove_lt(value_hi, modulus, env):
-            return value
-        if prove_lt(value, modulus, env):
-            return value
+@_rule(Mod, "mod-split-multiple", "Table II rule 1: (d*q + r) % d -> r % d when d != 0")
+def _mod_split_multiple(expr: Mod, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    value, modulus = expr.value_expr, expr.modulus
+    if not is_nonzero(modulus, env):
+        return None
+    multiple, rest = _split_multiple_of(value, modulus, env)
+    if multiple is None:
+        return None
+    if isinstance(rest, Const) and rest.value == 0:
+        return Const(0)
+    return rw.apply_rules(Mod, Mod(rest, modulus))
 
-    # Nested modulo: (x % m) % d -> x % d  when d | m.
+
+@_rule(Mod, "mod-range-identity", "Table II rule 5: x % a -> x when a > 0 and 0 <= x < a")
+def _mod_range_identity(expr: Mod, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    value, modulus = expr.value_expr, expr.modulus
+    if not (is_positive(modulus, env) and prove_nonneg(value, env)):
+        return None
+    value_hi = env.range_of(value).hi
+    if value_hi is not None and prove_lt(value_hi, modulus, env):
+        return value
+    if prove_lt(value, modulus, env):
+        return value
+    return None
+
+
+@_rule(Mod, "mod-nested", "(x % m) % d -> x % d when d | m")
+def _mod_nested(expr: Mod, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    value, modulus = expr.value_expr, expr.modulus
     if isinstance(value, Mod) and env.divides(modulus, value.modulus):
-        return _simplify_mod(Mod(value.value_expr, modulus), env, depth + 1)
-
-    return Mod(value, modulus)
+        return rw.apply_rules(Mod, Mod(value.value_expr, modulus))
+    return None
 
 
 # ---------------------------------------------------------------------------
-# floor division
+# floor-division rules
 # ---------------------------------------------------------------------------
 
 
-def _simplify_floordiv(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
-    if not isinstance(expr, FloorDiv):
-        return expr
+@_rule(FloorDiv, "div-exact", "(c*d*rest) // d -> c*rest when the division is provably exact")
+def _div_exact(expr: FloorDiv, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    return _exact_quotient(expr.numerator, expr.denominator, env)
+
+
+@_rule(FloorDiv, "div-mod-zero", "Table II rule 3: (x % d) / d -> 0 when d > 0")
+def _div_mod_zero(expr: FloorDiv, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
     num, den = expr.numerator, expr.denominator
-
-    # Divisibility fact folding: (c*d*rest) // d -> c*rest when d | num exactly
-    # through a literal factor.
-    exact = _exact_quotient(num, den, env)
-    if exact is not None:
-        return exact
-
-    # Rule 3: (x % d) / d -> 0  when d > 0.
     if isinstance(num, Mod) and num.modulus == den and is_positive(den, env):
         return Const(0)
+    return None
 
-    # Rule 4: x / a -> 0  when a > 0, 0 <= x < a.
-    if is_positive(den, env) and prove_nonneg(num, env):
-        num_hi = env.range_of(num).hi
-        if num_hi is not None and prove_lt(num_hi, den, env):
-            return Const(0)
-        if prove_lt(num, den, env):
-            return Const(0)
 
-    # Small negative constant numerators: -d <= c < 0 and d > 0 imply c//d == -1.
-    # (Needed so symbolic range bounds such as (mn*ntn - 1)//mn collapse to
-    # ntn - 1, which in turn lets rules 4 and 5 fire on grouped thread layouts.)
+@_rule(FloorDiv, "div-range-zero", "Table II rule 4: x / a -> 0 when a > 0 and 0 <= x < a")
+def _div_range_zero(expr: FloorDiv, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    num, den = expr.numerator, expr.denominator
+    if not (is_positive(den, env) and prove_nonneg(num, env)):
+        return None
+    num_hi = env.range_of(num).hi
+    if num_hi is not None and prove_lt(num_hi, den, env):
+        return Const(0)
+    if prove_lt(num, den, env):
+        return Const(0)
+    return None
+
+
+@_rule(FloorDiv, "div-negative-const", "c // d -> -1 when -d <= c < 0 and d > 0")
+def _div_negative_const(expr: FloorDiv, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    # Needed so symbolic range bounds such as (mn*ntn - 1)//mn collapse to
+    # ntn - 1, which in turn lets rules 4 and 5 fire on grouped thread layouts.
+    num, den = expr.numerator, expr.denominator
     if isinstance(num, Const) and num.value < 0 and is_positive(den, env):
         if prove_le(Const(-num.value), den, env):
             return Const(-1)
+    return None
 
-    # Rule 2: (d*q + r) / d -> q  (or q + r/d)  when d != 0.
-    if is_nonzero(den, env):
-        multiple, rest = _split_multiple_of(num, den, env)
-        if multiple is not None:
-            quotient = multiple
-            if isinstance(rest, Const) and rest.value == 0:
-                return quotient
-            # The split identity (d*q + r)//d == q + r//d requires floor
-            # semantics, which hold unconditionally for d != 0 only when the
-            # remainder term's floor division is kept; emit q + r//d and let
-            # the recursive call collapse r//d when 0 <= r < d.
-            rest_div = _simplify_floordiv(FloorDiv(rest, den), env, depth + 1)
-            return Add(quotient, rest_div)
 
-    return FloorDiv(num, den)
+@_rule(FloorDiv, "div-split-multiple", "Table II rule 2: (d*q + r) / d -> q + r/d when d != 0")
+def _div_split_multiple(expr: FloorDiv, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    num, den = expr.numerator, expr.denominator
+    if not is_nonzero(den, env):
+        return None
+    multiple, rest = _split_multiple_of(num, den, env)
+    if multiple is None:
+        return None
+    quotient = multiple
+    if isinstance(rest, Const) and rest.value == 0:
+        return quotient
+    # The split identity (d*q + r)//d == q + r//d requires floor semantics,
+    # which hold unconditionally for d != 0 only when the remainder term's
+    # floor division is kept; emit q + r//d and let the re-entrant rewrite
+    # collapse r//d when 0 <= r < d.
+    rest_div = rw.apply_rules(FloorDiv, FloorDiv(rest, den))
+    return Add(quotient, rest_div)
 
 
 def _exact_quotient(num: Expr, den: Expr, env: SymbolicEnv) -> Optional[Expr]:
@@ -290,14 +447,13 @@ def _term_quotient(term: Expr, divisor: Expr, env: SymbolicEnv) -> Optional[Expr
 # ---------------------------------------------------------------------------
 
 
-def _simplify_add(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
-    if not isinstance(expr, Add):
-        return expr
+@_rule(Add, "add-recompose", "Table II rule 7: a*(x/a) + x%a -> x when a != 0")
+def _add_recompose(expr: Add, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
     terms = list(expr.args)
 
-    # Rule 7: a*(x/a) + x%a -> x  (a != 0).  Match pairs of terms with equal
-    # integer coefficients where one is c*Mod(x, a) and the other is
-    # c*a*FloorDiv(x, a).
+    # Match pairs of terms with equal integer coefficients where one is
+    # c*Mod(x, a) and the other is c*a*FloorDiv(x, a).
+    changed_any = False
     changed = True
     while changed:
         changed = False
@@ -318,9 +474,12 @@ def _simplify_add(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
                     new_terms.append(replacement)
                     terms = new_terms
                     changed = True
+                    changed_any = True
                     break
             if changed:
                 break
+    if not changed_any:
+        return None
     return Add(*terms) if len(terms) > 1 else (terms[0] if terms else Const(0))
 
 
@@ -355,11 +514,10 @@ def _matches_div_times_divisor(term: Expr, coeff: int, x: Expr, a: Expr) -> bool
 # ---------------------------------------------------------------------------
 
 
-def _simplify_mul(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
-    if not isinstance(expr, Mul):
-        return expr
+@_rule(Mul, "mul-div-cancel", "(x // d) * d -> x when d | x")
+def _mul_div_cancel(expr: Mul, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
     factors = list(expr.args)
-    # (x // d) * d -> x   when d | x (user divisibility fact or structure)
+    changed_any = False
     changed = True
     while changed:
         changed = False
@@ -375,9 +533,12 @@ def _simplify_mul(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
                     new_factors.append(x)
                     factors = new_factors
                     changed = True
+                    changed_any = True
                     break
             if changed:
                 break
+    if not changed_any:
+        return None
     if len(factors) == 1:
         return factors[0]
     return Mul(*factors)
@@ -388,9 +549,8 @@ def _simplify_mul(expr: Expr, env: SymbolicEnv, depth: int) -> Expr:
 # ---------------------------------------------------------------------------
 
 
-def _simplify_min(expr: Expr, env: SymbolicEnv) -> Expr:
-    if not isinstance(expr, Min):
-        return expr
+@_rule(Min, "min-dominated", "drop Min arguments some other argument is provably <=")
+def _min_dominated(expr: Min, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
     args = list(expr.args)
     kept: list[Expr] = []
     for arg in args:
@@ -404,16 +564,15 @@ def _simplify_min(expr: Expr, env: SymbolicEnv) -> Expr:
                 break
         if not dominated:
             kept.append(arg)
-    if not kept:
-        kept = args
+    if not kept or len(kept) == len(args):
+        return None
     if len(kept) == 1:
         return kept[0]
     return Min(*kept)
 
 
-def _simplify_max(expr: Expr, env: SymbolicEnv) -> Expr:
-    if not isinstance(expr, Max):
-        return expr
+@_rule(Max, "max-dominated", "drop Max arguments provably <= some other argument")
+def _max_dominated(expr: Max, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
     args = list(expr.args)
     kept: list[Expr] = []
     for arg in args:
@@ -426,8 +585,8 @@ def _simplify_max(expr: Expr, env: SymbolicEnv) -> Expr:
                 break
         if not dominated:
             kept.append(arg)
-    if not kept:
-        kept = args
+    if not kept or len(kept) == len(args):
+        return None
     if len(kept) == 1:
         return kept[0]
     return Max(*kept)
@@ -449,10 +608,19 @@ def expand(expr: ExprLike) -> Expr:
     expr = as_expr(expr)
     if isinstance(expr, (Const, Var)):
         return expr
-    expr = expr.map_children(expand)
-    if isinstance(expr, Mul):
-        return _expand_mul(expr)
-    return expr
+    cached = _EXPAND_CACHE.get(expr._id)
+    if cached is not None:
+        return cached
+    out = expr.map_children(expand)
+    if isinstance(out, Mul):
+        out = _expand_mul(out)
+    _EXPAND_CACHE[expr._id] = out
+    return out
+
+
+#: ``expand`` is env-independent, so one process-global identity-keyed cache
+#: is sound; interning keeps it compact (one entry per distinct expression).
+_EXPAND_CACHE: dict[int, Expr] = {}
 
 
 def _expand_mul(expr: Expr) -> Expr:

@@ -1,0 +1,107 @@
+"""Cache-hit accounting for the symbolic engine.
+
+The hash-consed IR (:mod:`repro.symbolic.expr`) enables identity-keyed memo
+tables throughout the stack: the rewrite engine, the fixpoint driver, the
+prover and the range analysis all keep per-environment caches, and the code
+printers keep per-instance caches.  This module centralises their hit/miss
+counters so the code-generation pipeline can report cache effectiveness
+(:class:`repro.codegen.pipeline.GenerationReport`) and the cache benchmark
+can assert hit rates.
+
+Counters are process-global and monotonically increasing; callers that want
+a delta snapshot the counters before and after (see
+:func:`CacheCounters.snapshot` and :func:`CacheCounters.delta`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheCounters", "CACHE_STATS", "cache_statistics", "reset_cache_statistics"]
+
+
+@dataclass
+class CacheCounters:
+    """Global hit/miss counters for every memoisation layer."""
+
+    simplify_hits: int = 0
+    simplify_misses: int = 0
+    fixpoint_hits: int = 0
+    fixpoint_misses: int = 0
+    proof_hits: int = 0
+    proof_misses: int = 0
+    range_hits: int = 0
+    range_misses: int = 0
+    print_hits: int = 0
+    print_misses: int = 0
+    rule_applications: dict[str, int] = field(default_factory=dict)
+
+    def count_rule(self, name: str) -> None:
+        self.rule_applications[name] = self.rule_applications.get(name, 0) + 1
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-dict copy of the current counter values."""
+        from .expr import intern_table_size
+
+        return {
+            "simplify_hits": self.simplify_hits,
+            "simplify_misses": self.simplify_misses,
+            "fixpoint_hits": self.fixpoint_hits,
+            "fixpoint_misses": self.fixpoint_misses,
+            "proof_hits": self.proof_hits,
+            "proof_misses": self.proof_misses,
+            "range_hits": self.range_hits,
+            "range_misses": self.range_misses,
+            "print_hits": self.print_hits,
+            "print_misses": self.print_misses,
+            "rule_applications": dict(self.rule_applications),
+            "interned_nodes": intern_table_size(),
+        }
+
+    @staticmethod
+    def delta(before: dict[str, object], after: dict[str, object]) -> dict[str, object]:
+        """Counter increments between two :meth:`snapshot` results."""
+        out: dict[str, object] = {}
+        for key, after_value in after.items():
+            before_value = before.get(key, 0)
+            if isinstance(after_value, dict):
+                before_rules = before_value if isinstance(before_value, dict) else {}
+                out[key] = {
+                    name: count - before_rules.get(name, 0)
+                    for name, count in after_value.items()
+                    if count != before_rules.get(name, 0)
+                }
+            else:
+                out[key] = after_value - before_value
+        for kind in ("simplify", "fixpoint", "proof", "range", "print"):
+            hits = out.get(f"{kind}_hits", 0)
+            total = hits + out.get(f"{kind}_misses", 0)
+            out[f"{kind}_hit_rate"] = (hits / total) if total else 0.0
+        return out
+
+    def reset(self) -> None:
+        self.simplify_hits = 0
+        self.simplify_misses = 0
+        self.fixpoint_hits = 0
+        self.fixpoint_misses = 0
+        self.proof_hits = 0
+        self.proof_misses = 0
+        self.range_hits = 0
+        self.range_misses = 0
+        self.print_hits = 0
+        self.print_misses = 0
+        self.rule_applications.clear()
+
+
+#: the process-global counter instance used by every cache layer
+CACHE_STATS = CacheCounters()
+
+
+def cache_statistics() -> dict[str, object]:
+    """Snapshot of the global cache counters (plus the intern-table size)."""
+    return CACHE_STATS.snapshot()
+
+
+def reset_cache_statistics() -> None:
+    """Zero all global cache counters (the intern table is left alone)."""
+    CACHE_STATS.reset()

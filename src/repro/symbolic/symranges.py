@@ -38,6 +38,7 @@ from .expr import (
     Var,
     as_expr,
 )
+from .stats import CACHE_STATS
 
 __all__ = ["SymInterval", "SymbolicEnv"]
 
@@ -118,6 +119,31 @@ class SymbolicEnv:
         self._positive_exprs: set[Expr] = set()
         self._le_facts: list[tuple[Expr, Expr]] = []
         self._max_depth = 16
+        # -- memoisation state (identity-keyed on Expr.expr_id) ---------------
+        # Every declared fact can change what simplifies/proves, so any
+        # mutation bumps the version and drops the caches; a cache entry is
+        # therefore always consistent with the facts in force when it was
+        # written.  ``(expr_id, env_fingerprint)`` keying from the design
+        # notes degenerates to "env-local cache + invalidate on mutation".
+        self._version = 0
+        self._simplify_cache: dict[int, Expr] = {}
+        self._fixpoint_cache: dict[int, Expr] = {}
+        self._proof_cache: dict[tuple, bool] = {}
+        self._range_cache: dict[int, SymInterval] = {}
+        self._range_cutoff_events = 0
+
+    @property
+    def fingerprint(self) -> tuple[int, int]:
+        """Identity + mutation-count pair distinguishing assumption states."""
+        return (id(self), self._version)
+
+    def _invalidate(self) -> None:
+        """A fact changed: bump the version and drop every memo table."""
+        self._version += 1
+        self._simplify_cache.clear()
+        self._fixpoint_cache.clear()
+        self._proof_cache.clear()
+        self._range_cache.clear()
 
     # -- declarations ---------------------------------------------------------
 
@@ -125,7 +151,9 @@ class SymbolicEnv:
         """Declare positive "size" symbols (tile sizes, problem sizes, ...)."""
         for item in names_or_vars:
             name = item.name if isinstance(item, Var) else str(item)
-            self._ranges[name] = SymInterval.positive()
+            if self._ranges.get(name) != SymInterval.positive():
+                self._ranges[name] = SymInterval.positive()
+                self._invalidate()
 
     def declare_index(self, name_or_var, extent: ExprLike) -> Var:
         """Declare an index symbol with range ``[0, extent - 1]``.
@@ -139,10 +167,14 @@ class SymbolicEnv:
             var = name_or_var
         else:
             var = Var(str(name_or_var))
-        self._ranges[var.name] = SymInterval.index(extent)
+        interval = SymInterval.index(extent)
+        if self._ranges.get(var.name) != interval:
+            self._ranges[var.name] = interval
+            self._invalidate()
         extent_expr = as_expr(extent)
-        if not isinstance(extent_expr, (Const, Var)):
+        if not isinstance(extent_expr, (Const, Var)) and extent_expr not in self._positive_exprs:
             self._positive_exprs.add(extent_expr)
+            self._invalidate()
         return var
 
     def declare_positive(self, *exprs: ExprLike) -> None:
@@ -150,9 +182,12 @@ class SymbolicEnv:
         for expr in exprs:
             expr = as_expr(expr)
             if isinstance(expr, Var):
-                self._ranges.setdefault(expr.name, SymInterval.positive())
-            else:
+                if expr.name not in self._ranges:
+                    self._ranges[expr.name] = SymInterval.positive()
+                    self._invalidate()
+            elif expr not in self._positive_exprs:
                 self._positive_exprs.add(expr)
+                self._invalidate()
 
     def declare_le(self, lhs: ExprLike, rhs: ExprLike) -> None:
         """Record the user constraint ``lhs <= rhs`` (a relational fact).
@@ -162,7 +197,10 @@ class SymbolicEnv:
         reasoning cannot bound (e.g. ``min(GM, nt_m) * max(1, nt_m // GM) <=
         nt_m`` for the grouped thread-block layout of Figure 1).
         """
-        self._le_facts.append((as_expr(lhs), as_expr(rhs)))
+        fact = (as_expr(lhs), as_expr(rhs))
+        if fact not in self._le_facts:
+            self._le_facts.append(fact)
+            self._invalidate()
 
     def is_declared_positive(self, expr: ExprLike) -> bool:
         """Was ``expr`` declared positive (directly or as an index extent)?"""
@@ -178,17 +216,25 @@ class SymbolicEnv:
             var = name_or_var
         else:
             var = Var(str(name_or_var))
-        self._ranges[var.name] = SymInterval(_opt_expr(lo), _opt_expr(hi))
+        interval = SymInterval(_opt_expr(lo), _opt_expr(hi))
+        if self._ranges.get(var.name) != interval:
+            self._ranges[var.name] = interval
+            self._invalidate()
         return var
 
     def declare_nonneg(self, *names_or_vars) -> None:
         for item in names_or_vars:
             name = item.name if isinstance(item, Var) else str(item)
-            self._ranges[name] = SymInterval.nonneg()
+            if self._ranges.get(name) != SymInterval.nonneg():
+                self._ranges[name] = SymInterval.nonneg()
+                self._invalidate()
 
     def declare_divisible(self, dividend: ExprLike, divisor: ExprLike) -> None:
         """Record the fact ``divisor | dividend`` (divisor divides dividend)."""
-        self._divisibility.add((as_expr(dividend), as_expr(divisor)))
+        fact = (as_expr(dividend), as_expr(divisor))
+        if fact not in self._divisibility:
+            self._divisibility.add(fact)
+            self._invalidate()
 
     def copy(self) -> "SymbolicEnv":
         new = SymbolicEnv()
@@ -196,6 +242,12 @@ class SymbolicEnv:
         new._divisibility = set(self._divisibility)
         new._positive_exprs = set(self._positive_exprs)
         new._le_facts = list(self._le_facts)
+        # The copy holds exactly the same facts, so the memoised results are
+        # still valid and carry over (they are invalidated independently).
+        new._simplify_cache = dict(self._simplify_cache)
+        new._fixpoint_cache = dict(self._fixpoint_cache)
+        new._proof_cache = dict(self._proof_cache)
+        new._range_cache = dict(self._range_cache)
         return new
 
     def merged_with(self, other: "SymbolicEnv | None") -> "SymbolicEnv":
@@ -205,7 +257,10 @@ class SymbolicEnv:
         new._ranges.update(other._ranges)
         new._divisibility.update(other._divisibility)
         new._positive_exprs.update(other._positive_exprs)
-        new._le_facts.extend(other._le_facts)
+        for fact in other._le_facts:
+            if fact not in new._le_facts:
+                new._le_facts.append(fact)
+        new._invalidate()
         return new
 
     # -- lookups --------------------------------------------------------------
@@ -249,18 +304,32 @@ class SymbolicEnv:
     # -- range analysis -------------------------------------------------------
 
     def range_of(self, expr: Expr, _depth: int = 0) -> SymInterval:
-        """Compute a sound symbolic interval for ``expr``."""
+        """Compute a sound symbolic interval for ``expr`` (memoised).
+
+        Results are cached per expression identity; a result computed under a
+        depth cutoff (which conservatively widens to ``top``) is *not* cached
+        so that a later shallow query is not poisoned by a deep one.
+        """
+        cached = self._range_cache.get(expr._id)
+        if cached is not None:
+            CACHE_STATS.range_hits += 1
+            return cached
+        cutoffs_before = self._range_cutoff_events
         result = self._range_of_dispatch(expr, _depth)
         if self._positive_exprs and expr in self._positive_exprs:
             lo = result.lo
             if lo is None or (isinstance(lo, Const) and lo.value < 1):
                 result = SymInterval(Const(1), result.hi)
+        if self._range_cutoff_events == cutoffs_before:
+            CACHE_STATS.range_misses += 1
+            self._range_cache[expr._id] = result
         return result
 
     def _range_of_dispatch(self, expr: Expr, _depth: int = 0) -> SymInterval:
         from .prover import is_nonneg, is_positive
 
         if _depth > self._max_depth:
+            self._range_cutoff_events += 1
             return SymInterval.top()
         depth = _depth + 1
 

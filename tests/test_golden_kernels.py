@@ -1,0 +1,35 @@
+"""Byte-identical golden tests for every code-generation backend.
+
+The files under ``tests/golden/`` were captured from the expression engine
+*before* the hash-consing + memoisation refactor; these tests pin the
+generated Triton / CUDA / MLIR text (matmul, NW, LUD, stencil and friends)
+so engine changes that alter output — rather than just speed — fail loudly.
+
+Regenerate intentionally with ``PYTHONPATH=src python tests/golden_kernels.py --write``.
+"""
+
+import pytest
+
+from golden_kernels import GOLDEN_DIR, build_artifacts
+
+
+@pytest.fixture(scope="module")
+def artifacts() -> dict[str, str]:
+    return build_artifacts()
+
+
+def _golden_names() -> list[str]:
+    return sorted(p.name for p in GOLDEN_DIR.iterdir())
+
+
+def test_golden_directory_is_complete(artifacts):
+    assert set(_golden_names()) == set(artifacts), (
+        "artifact set drifted from tests/golden/; regenerate with "
+        "`PYTHONPATH=src python tests/golden_kernels.py --write`"
+    )
+
+
+@pytest.mark.parametrize("name", _golden_names())
+def test_generated_kernel_matches_golden(artifacts, name):
+    expected = (GOLDEN_DIR / name).read_text()
+    assert artifacts[name] == expected, f"{name}: generated kernel text drifted from golden file"

@@ -1,0 +1,138 @@
+"""Property-style regression tests for the Table II rewrite rules.
+
+Random expressions are simplified under random assumption environments and
+checked against concrete evaluation over every assignment consistent with the
+declared ranges.  This is the soundness net for the memoised rewrite engine:
+an unsound rule (or a cache returning a result from the wrong environment)
+shows up as a value mismatch, not just a shape change.
+
+Two families:
+
+* concrete extents — index variables over small literal ranges, so the
+  brute-force oracle enumerates independent domains directly;
+* symbolic extents — a size symbol ``B`` with ``B | K`` declared, enumerated
+  over *consistent* assignments (``K`` a multiple of ``B``, indices inside
+  their extents), the situation the divisibility-driven rules fire in.
+"""
+
+import random
+
+import pytest
+
+from repro.symbolic import (
+    Add,
+    Const,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    SymbolicEnv,
+    Var,
+    simplify,
+    simplify_fixpoint,
+)
+
+_N_CASES = 120
+_MAX_DEPTH = 3
+
+
+def _random_expr(rng: random.Random, atoms, pos_atoms, depth: int):
+    """A random integer expression; denominators/moduli are provably positive."""
+    if depth <= 0 or rng.random() < 0.25:
+        if rng.random() < 0.7:
+            return rng.choice(atoms)
+        return Const(rng.randint(-3, 6))
+    op = rng.choice(("add", "add", "mul", "floordiv", "mod", "min", "max"))
+    if op == "add":
+        return Add(
+            _random_expr(rng, atoms, pos_atoms, depth - 1),
+            _random_expr(rng, atoms, pos_atoms, depth - 1),
+        )
+    if op == "mul":
+        return Mul(
+            Const(rng.randint(-2, 3)),
+            _random_expr(rng, atoms, pos_atoms, depth - 1),
+        )
+    if op in ("floordiv", "mod"):
+        num = _random_expr(rng, atoms, pos_atoms, depth - 1)
+        if pos_atoms and rng.random() < 0.4:
+            den = rng.choice(pos_atoms)
+        else:
+            den = Const(rng.randint(1, 6))
+        return FloorDiv(num, den) if op == "floordiv" else Mod(num, den)
+    cls = Min if op == "min" else Max
+    return cls(
+        _random_expr(rng, atoms, pos_atoms, depth - 1),
+        _random_expr(rng, atoms, pos_atoms, depth - 1),
+    )
+
+
+def _check_equivalent(original, simplified, assignment: dict[str, int]) -> None:
+    expected = original.evaluate(assignment)
+    actual = simplified.evaluate(assignment)
+    assert actual == expected, (
+        f"unsound rewrite: {original!r} -> {simplified!r} "
+        f"differs under {assignment} ({expected} != {actual})"
+    )
+
+
+@pytest.mark.parametrize("seed", range(_N_CASES))
+def test_random_expr_concrete_env(seed):
+    rng = random.Random(10_000 + seed)
+    e_i = rng.randint(2, 6)
+    e_j = rng.randint(2, 6)
+    env = SymbolicEnv()
+    i = env.declare_index("i", e_i)
+    j = env.declare_index("j", e_j)
+    expr = _random_expr(rng, atoms=[i, j], pos_atoms=[], depth=_MAX_DEPTH)
+
+    simplified = simplify_fixpoint(expr, env)
+    single_pass = simplify(expr, env)
+    for iv in range(e_i):
+        for jv in range(e_j):
+            assignment = {"i": iv, "j": jv}
+            _check_equivalent(expr, simplified, assignment)
+            _check_equivalent(expr, single_pass, assignment)
+
+
+@pytest.mark.parametrize("seed", range(_N_CASES))
+def test_random_expr_symbolic_env(seed):
+    rng = random.Random(20_000 + seed)
+    env = SymbolicEnv()
+    B, K = Var("B"), Var("K")
+    env.declare_size(B, K)
+    env.declare_divisible(K, B)
+    i = env.declare_index("i", B)
+    k = env.declare_index("k", FloorDiv(K, B))
+    expr = _random_expr(rng, atoms=[i, k, B, K], pos_atoms=[B], depth=_MAX_DEPTH)
+
+    simplified = simplify_fixpoint(expr, env)
+    # every consistent assignment: K a multiple of B, indices inside extents
+    for b in (2, 3, 4):
+        for mult in (1, 2, 3):
+            kk = b * mult
+            for iv in range(b):
+                for kv in range(kk // b):
+                    assignment = {"B": b, "K": kk, "i": iv, "k": kv}
+                    _check_equivalent(expr, simplified, assignment)
+
+
+def test_environment_isolation_of_caches():
+    """A fact declared in one env must not leak through caches into another."""
+    env_a = SymbolicEnv()
+    B = Var("B")
+    env_a.declare_size(B)
+    x = env_a.declare_index("x", B)
+    expr = Mod(x, B)
+    assert simplify_fixpoint(expr, env_a) == x  # 0 <= x < B
+
+    env_b = SymbolicEnv()  # knows nothing about x or B
+    assert simplify_fixpoint(expr, env_b) == expr
+
+    # mutating an env invalidates its memoised results
+    env_c = SymbolicEnv()
+    env_c.declare_size(B)
+    assert simplify_fixpoint(expr, env_c) == expr  # x unbounded so far
+    env_c.declare_index("x", B)
+    assert simplify_fixpoint(expr, env_c) == x
