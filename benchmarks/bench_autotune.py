@@ -1,0 +1,61 @@
+"""Autotuner smoke benchmark: sweep the paper's three CUDA/MLIR winners.
+
+Runs the layout autotuner end-to-end for the three applications whose
+paper-preferred configurations the tuner must reproduce (LUD block-64
+coarsening, the NW skewed shared-buffer layout, transpose staged through
+shared memory) and records candidate counts, winners and wall-clock so the
+performance trajectory is tracked across PRs.
+
+Run standalone to emit the JSON artifact the CI job uploads::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py   # writes BENCH_autotune.json
+
+or under pytest for the assertions only.
+"""
+
+import json
+import time
+from pathlib import Path
+
+APPS = ("lud", "nw", "transpose")
+
+
+def run_autotune_smoke() -> dict:
+    from repro.tune import autotune
+
+    report: dict = {"apps": {}, "total_wall_seconds": 0.0}
+    started = time.perf_counter()
+    for name in APPS:
+        result = autotune(name)
+        report["apps"][name] = result.summary()
+    report["total_wall_seconds"] = time.perf_counter() - started
+    return report
+
+
+def check_report(report: dict) -> None:
+    for name in APPS:
+        summary = report["apps"][name]
+        assert summary["candidates"] >= 20, f"{name}: space shrank below 20 candidates"
+        assert summary["best_time_ms"] > 0
+    # the acceptance bar: >= 20 candidates per app, all three sweeps in
+    # interactive time (the budget is 5 s; allow slack for loaded CI workers)
+    assert report["total_wall_seconds"] < 20.0
+    # the winners the paper reports
+    assert report["apps"]["lud"]["best_config"]["block"] == 64
+    assert report["apps"]["nw"]["best_config"]["layout"] not in ("row", "col")
+    assert report["apps"]["transpose"]["best_config"]["variant"] == "smem"
+
+
+def test_autotune_smoke():
+    check_report(run_autotune_smoke())
+
+
+if __name__ == "__main__":
+    # one sweep serves both purposes in CI: the assertions run on the same
+    # report that becomes the uploaded artifact
+    artifact = Path(__file__).resolve().parent.parent / "BENCH_autotune.json"
+    report = run_autotune_smoke()
+    check_report(report)
+    artifact.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {artifact}")

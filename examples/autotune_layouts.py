@@ -1,0 +1,38 @@
+"""Autotune the paper's layout sweeps with one reusable search.
+
+The paper's evaluation hand-drives a sweep per figure: LUD block sizes and
+coarsening factors (Figure 12b), NW shared-buffer layouts (Figure 12a),
+transpose staging variants (Table V).  With the app registry and the layout
+autotuner each of those is one call: every candidate is generated through
+the unified backend registry (CUDA, Triton or MLIR) and ranked on the
+analytic device model plus the op-count cost model.
+
+Run with::
+
+    PYTHONPATH=src python examples/autotune_layouts.py
+"""
+
+from repro.apps.registry import available_apps, get_app
+from repro.tune import autotune
+
+
+def main() -> None:
+    for name in ("lud", "nw", "transpose"):
+        spec = get_app(name)
+        result = autotune(name)
+        best = result.best
+        print(f"== {name}: {spec.description}")
+        print(f"   space: {spec.space}")
+        print(f"   {len(result)} candidates evaluated in {result.wall_seconds:.2f} s "
+              f"({spec.backend} backend)")
+        print(f"   winner: {best.config}  ->  {best.milliseconds:.3f} ms"
+              + (f", {best.index_ops} weighted index ops" if best.has_kernel else ""))
+        runner_up = result.ranked[1]
+        print(f"   runner-up: {runner_up.config}  ->  {runner_up.milliseconds:.3f} ms")
+        print()
+
+    print("registered apps:", ", ".join(available_apps()))
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,11 @@ Mapping" (Tavakkoli, Oancea, Hall).  It provides:
   MLIR toolchain (see DESIGN.md for the substitution rationale);
 * :mod:`repro.gpusim` — the analytic A100-class performance model;
 * :mod:`repro.apps` — the paper's benchmark applications (matmul, grouped
-  GEMM, softmax, LayerNorm, NW, LUD, stencils, transpose);
+  GEMM, softmax, LayerNorm, NW, LUD, stencils, transpose), each registered
+  as a uniform ``AppSpec`` in :mod:`repro.apps.registry`;
+* :mod:`repro.tune` — the layout autotuner: declarative search spaces,
+  candidate generation through the backend registry, analytic-model
+  ranking and a persistent result cache;
 * :mod:`repro.bench` — the harness that regenerates every table and figure
   of the evaluation section.
 
@@ -52,7 +56,14 @@ from .core import (
     xor_swizzle,
 )
 from .symbolic import SymbolicEnv, Var, simplify, simplify_fixpoint, symbols
-from .codegen import CodegenContext, generate_cuda_kernel, generate_triton_kernel
+from .codegen import (
+    CodegenContext,
+    GeneratedKernel,
+    available_backends,
+    generate_cuda_kernel,
+    generate_triton_kernel,
+    get_backend,
+)
 
 __version__ = "1.0.0"
 
@@ -88,6 +99,9 @@ __all__ = [
     "simplify_fixpoint",
     # code generation
     "CodegenContext",
+    "GeneratedKernel",
+    "available_backends",
+    "get_backend",
     "generate_triton_kernel",
     "generate_cuda_kernel",
 ]

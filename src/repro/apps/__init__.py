@@ -19,6 +19,11 @@ Modules
 ``lud``           LU decomposition with thread-coarsening layouts (Fig. 12b, 13a)
 ``stencil``       3-D star/cube stencils, array vs. brick layout (Fig. 12c, 13b)
 ``transpose``     2-D transpose through the MLIR backend (Table V)
+
+Every module also exposes an ``app_spec()`` factory registering a uniform
+:class:`~repro.apps.registry.AppSpec` (search space + generate + evaluate)
+with the app registry, which is what the layout autotuner in
+:mod:`repro.tune` sweeps (``repro.apps.registry.get_app("lud")``).
 """
 
 from importlib import import_module

@@ -30,7 +30,36 @@ __all__ = [
     "run_grouped_gemm",
     "grouped_gemm_reference",
     "grouped_gemm_performance",
+    "app_spec",
 ]
+
+
+def app_spec():
+    """The grouped-GEMM :class:`~repro.apps.registry.AppSpec` for the autotuner."""
+    from ..tune.space import Choice, SearchSpace
+    from .registry import AppSpec, register_app
+
+    groups, n = 8, 1024
+    space = SearchSpace(
+        Choice("BM", (64, 32, 128)),
+        Choice("BN", (64, 32, 128)),
+        Choice("BK", (32, 64)),
+    )
+
+    def evaluate(config):
+        cfg = GroupedGemmConfig(groups=groups, M=n, N=n, K=n,
+                                BM=config["BM"], BN=config["BN"], BK=config["BK"])
+        return grouped_gemm_performance(cfg, "lego")
+
+    return register_app(AppSpec(
+        name="grouped_gemm",
+        backend="triton",
+        space=space,
+        evaluate=evaluate,
+        generate=lambda config: generate_grouped_gemm_kernel(),
+        paper_config={"BM": 64, "BN": 64, "BK": 32},
+        description="Grouped GEMM tiling sweep (Figure 11)",
+    ))
 
 
 GROUPED_GEMM_TEMPLATE = '''\

@@ -38,6 +38,7 @@ __all__ = [
     "run_layernorm_forward",
     "run_layernorm_backward",
     "layernorm_performance",
+    "app_spec",
 ]
 
 
@@ -217,3 +218,40 @@ def layernorm_performance(
         threads=float(config.M * min(1024, config.N)),
     )
     return estimate_time(cost, device).total
+
+
+def app_spec():
+    """The LayerNorm :class:`~repro.apps.registry.AppSpec` for the autotuner.
+
+    As for softmax the axis is the execution strategy per direction: the
+    fused row-parallel kernel vs the eager framework path (Figure 11).
+    """
+    from ..tune.space import Choice, SearchSpace
+    from .registry import AppSpec, register_app
+
+    n = 4096
+    space = SearchSpace(
+        Choice("implementation", ("lego", "triton", "pytorch")),
+        Choice("direction", ("forward", "backward")),
+    )
+
+    def evaluate(config):
+        cfg = LayerNormConfig(M=n, N=n)
+        return layernorm_performance(cfg, config["implementation"], config["direction"])
+
+    def generate(config):
+        if config["implementation"] != "lego":
+            return None
+        if config["direction"] == "forward":
+            return generate_layernorm_forward()
+        return generate_layernorm_backward()
+
+    return register_app(AppSpec(
+        name="layernorm",
+        backend="triton",
+        space=space,
+        evaluate=evaluate,
+        generate=generate,
+        paper_config={"implementation": "lego"},
+        description="Fused LayerNorm vs eager framework (Figure 11)",
+    ))

@@ -34,6 +34,7 @@ __all__ = [
     "lud_blocked",
     "lud_performance",
     "lud_configurations",
+    "app_spec",
 ]
 
 
@@ -223,3 +224,39 @@ def lud_performance(config: LudConfig, device: DeviceSpec = A100_80GB) -> float:
 def lud_configurations(n: int) -> list[LudConfig]:
     """The Figure 12b configuration sweep: LUD blocks 16/32/64, CUDA block 16."""
     return [LudConfig(n=n, block=b, cuda_block=16) for b in (16, 32, 64)]
+
+
+def app_spec():
+    """The LUD :class:`~repro.apps.registry.AppSpec` for the autotuner.
+
+    Thread coarsening is "just a layout" here, so the space is the cross of
+    LUD block sizes and CUDA block sides (coarsening is their ratio) with the
+    divisibility constraints ``LudConfig`` enforces.  The paper's winner —
+    LUD block 64, CUDA block 16x16, coarsening 4 (Figure 12b) — leads each
+    axis so exact performance-model ties resolve toward it; near-ties are
+    further broken by the GPU-weighted op count of the generated
+    ``element_offset`` expression.
+    """
+    from ..tune.space import Choice, SearchSpace
+    from .registry import AppSpec, register_app
+
+    n = 2048
+    space = SearchSpace(
+        Choice("block", (64, 16, 32, 8, 128, 256)),
+        Choice("cuda_block", (16, 4, 8, 32)),
+        constraint=lambda c: c["block"] % c["cuda_block"] == 0 and n % c["block"] == 0,
+    )
+
+    def config_of(config) -> LudConfig:
+        # the figure harnesses may override the problem size per sweep
+        return LudConfig(n=config.get("n", n), block=config["block"], cuda_block=config["cuda_block"])
+
+    return register_app(AppSpec(
+        name="lud",
+        backend="cuda",
+        space=space,
+        evaluate=lambda config: lud_performance(config_of(config)),
+        generate=lambda config: generate_lud_internal_kernel(config_of(config)),
+        paper_config={"block": 64, "cuda_block": 16},
+        description="LUD thread-coarsening-as-layout sweep (Figure 12b)",
+    ))

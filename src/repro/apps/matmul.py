@@ -33,6 +33,7 @@ __all__ = [
     "matmul_performance",
     "reference_index_ops",
     "lego_spec_index_ops",
+    "app_spec",
 ]
 
 
@@ -254,6 +255,42 @@ def matmul_performance(
         smem_per_block=float((config.BM + config.BN) * config.BK * element),
     )
     return estimate_time(cost, device).total
+
+
+def app_spec():
+    """The matmul :class:`~repro.apps.registry.AppSpec` for the autotuner.
+
+    The sweep covers operand-layout variants and the tiling configuration at
+    the Figure 11 mid-size problem (4096^3); the paper's runs use the Triton
+    tutorial tiling ``BM = BN = 128, BK = 64, GM = 8`` (listed first on each
+    axis so performance-model ties resolve toward it).
+    """
+    from ..tune.space import Choice, SearchSpace
+    from .registry import AppSpec, register_app
+
+    n = 4096
+    space = SearchSpace(
+        Choice("variant", ("nn", "nt", "tn", "tt")),
+        Choice("BM", (128, 64, 256)),
+        Choice("BN", (128, 64, 256)),
+        Choice("BK", (64, 32)),
+        Choice("GM", (8, 4)),
+    )
+
+    def evaluate(config):
+        cfg = MatmulConfig(n, n, n, BM=config["BM"], BN=config["BN"],
+                           BK=config["BK"], GM=config["GM"])
+        return matmul_performance(cfg, "lego")
+
+    return register_app(AppSpec(
+        name="matmul",
+        backend="triton",
+        space=space,
+        evaluate=evaluate,
+        generate=lambda config: generate_matmul_kernel(config["variant"]),
+        paper_config={"BM": 128, "BN": 128, "BK": 64, "GM": 8},
+        description="FP16 matmul: operand-layout variants x Triton tutorial tiling",
+    ))
 
 
 def _count_source_ops(source: str, markers: tuple[str, ...]) -> int:

@@ -34,11 +34,15 @@ from ..minicuda import CudaTrace, GlobalArray, launch, trace_to_cost
 __all__ = [
     "NwConfig",
     "antidiagonal_buffer_layout",
+    "skewed_buffer_layout",
+    "nw_buffer_layout",
+    "NW_BUFFER_LAYOUTS",
     "nw_reference",
     "run_nw_blocked",
     "generate_nw_wrapper",
     "nw_performance",
     "nw_speedup",
+    "app_spec",
 ]
 
 
@@ -62,6 +66,49 @@ class NwConfig:
 def antidiagonal_buffer_layout(block: int) -> GroupBy:
     """The paper's Equation 2 layout for the ``(b+1) x (b+1)`` shared buffer."""
     return GroupBy([block + 1, block + 1]).OrderBy(antidiagonal(block + 1))
+
+
+def skewed_buffer_layout(block: int, skew: int) -> GroupBy:
+    """A row-cyclic skew of the ``(b+1) x (b+1)`` buffer: ``(i, j) -> (i, (i*skew + j) % w)``.
+
+    A skew of 1 also removes the wavefront's bank conflicts (the cells of an
+    anti-diagonal land a full row width apart, which is odd and therefore
+    conflict-free across 32 banks); larger skews are progressively worse.
+    These populate the autotuner's layout axis alongside the paper's
+    anti-diagonal layout.
+    """
+    width = block + 1
+
+    def skewed(i, j):
+        return i * width + (i * skew + j) % width
+
+    def skewed_inv(flat):
+        i = flat // width
+        j = (flat % width - i * skew) % width
+        return (i, j)
+
+    perm = GenP([width, width], skewed, skewed_inv, name=f"skew{skew}_{width}")
+    return GroupBy([width, width]).OrderBy(perm)
+
+
+#: the shared-buffer layout axis the autotuner sweeps (paper's choice first)
+NW_BUFFER_LAYOUTS = ("antidiagonal", "skew1", "skew2", "row", "col")
+
+
+def nw_buffer_layout(block: int, name: str) -> GroupBy | None:
+    """Resolve one value of the layout axis to a buffer layout (``None`` = row-major)."""
+    width = block + 1
+    if name == "row":
+        return None
+    if name == "col":
+        return GroupBy([width, width]).OrderBy(
+            RegP([width, width], [2, 1])
+        )
+    if name == "antidiagonal":
+        return antidiagonal_buffer_layout(block)
+    if name.startswith("skew"):
+        return skewed_buffer_layout(block, int(name[len("skew"):]))
+    raise ValueError(f"unknown NW buffer layout {name!r}; expected one of {NW_BUFFER_LAYOUTS}")
 
 
 def nw_reference(reference: np.ndarray, penalty: int) -> np.ndarray:
@@ -271,3 +318,59 @@ def nw_speedup(
         "conflict_factor_row_major": trace_row.bank_conflict_factor,
         "conflict_factor_antidiagonal": trace_anti.bank_conflict_factor,
     }
+
+
+def app_spec():
+    """The NW :class:`~repro.apps.registry.AppSpec` for the autotuner.
+
+    The space crosses the shared-buffer layout (anti-diagonal, row-cyclic
+    skews, row- and column-major) with the block size.  Evaluation traces a
+    small problem on the mini-CUDA substrate — the bank-conflict profile is
+    a per-block property — and extrapolates the latency model to the target
+    size, exactly like :func:`nw_speedup`; the conflict factor rides along
+    as a metric.  The paper's anti-diagonal layout is listed first so that
+    other conflict-free candidates (skew 1) cannot win on an exact tie.
+    """
+    from ..tune.space import Choice, SearchSpace
+    from .registry import AppSpec, register_app
+
+    n = 4096
+    space = SearchSpace(
+        Choice("layout", NW_BUFFER_LAYOUTS),
+        Choice("block", (16, 32, 8, 4)),
+    )
+
+    def evaluate(config):
+        block = config["block"]
+        trace_n = 4 * block
+        traced = NwConfig(n=trace_n, block=block)
+        target = NwConfig(n=config.get("n", n), block=block)
+        rng = np.random.default_rng(0)
+        reference = rng.integers(-4, 5, size=(trace_n, trace_n)).astype(np.int32)
+        layout = nw_buffer_layout(block, config["layout"])
+        _, trace = run_nw_blocked(reference, traced, layout=layout)
+        return {
+            "time_seconds": nw_performance(trace, traced, target),
+            "conflict_factor": trace.bank_conflict_factor,
+        }
+
+    def generate(config):
+        layout = nw_buffer_layout(config["block"], config["layout"])
+        if layout is None or not any(
+            isinstance(p, GenP) for ob in layout.order_bys for p in ob.perms
+        ):
+            return None  # affine layouts patch the original kernel without a wrapper
+        from ..codegen import GeneratedKernel
+
+        source = generate_accessor_wrapper("buff", layout, scalar_type="int")
+        return GeneratedKernel(name=f"nw_buff_{config['layout']}", source=source, backend="cuda")
+
+    return register_app(AppSpec(
+        name="nw",
+        backend="cuda",
+        space=space,
+        evaluate=evaluate,
+        generate=generate,
+        paper_config={"layout": "antidiagonal", "block": 16},
+        description="NW shared-buffer layout sweep (Figure 12a)",
+    ))

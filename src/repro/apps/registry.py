@@ -1,0 +1,84 @@
+"""The application registry: a uniform ``AppSpec`` per benchmark app.
+
+Every paper application (matmul, grouped GEMM, softmax, LayerNorm, NW, LUD,
+stencil, transpose) registers one :class:`AppSpec` that exposes, uniformly:
+
+* ``space`` — the declarative configuration search space the layout
+  autotuner sweeps (tile sizes, orderings, coarsening factors, skew/layout
+  selections),
+* ``generate(config)`` — produce the kernel for one configuration through
+  the unified backend registry (``get_backend``); ``None`` for apps whose
+  candidates share a single kernel text,
+* ``evaluate(config)`` — the analytic performance estimate in seconds
+  (every app's model bottoms out in :func:`repro.gpusim.estimate_time`),
+  optionally a dict carrying extra metrics next to ``time_seconds``,
+* ``paper_config`` — the axis values of the configuration the paper's
+  evaluation prefers, which the tuner tests assert the sweep reproduces.
+
+Specs live next to the app code (each app module defines an ``app_spec()``
+factory); this module resolves names lazily so ``import repro`` stays light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Callable, Mapping
+
+from ..tune.space import SearchSpace
+
+__all__ = ["AppSpec", "register_app", "get_app", "available_apps"]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One benchmark application, described uniformly for the autotuner."""
+
+    name: str
+    backend: str
+    space: SearchSpace
+    evaluate: Callable[[Mapping], object]
+    generate: Callable[[Mapping], object] | None = None
+    paper_config: Mapping = field(default_factory=dict)
+    description: str = ""
+
+
+_APPS: dict[str, AppSpec] = {}
+
+#: app name -> defining module (imported on first ``get_app``)
+_APP_MODULES = {
+    "matmul": "repro.apps.matmul",
+    "grouped_gemm": "repro.apps.grouped_gemm",
+    "softmax": "repro.apps.softmax",
+    "layernorm": "repro.apps.layernorm",
+    "nw": "repro.apps.nw",
+    "lud": "repro.apps.lud",
+    "stencil": "repro.apps.stencil",
+    "transpose": "repro.apps.transpose",
+}
+
+
+def register_app(spec: AppSpec) -> AppSpec:
+    """Add one spec to the registry (apps call this at import time)."""
+    _APPS[spec.name] = spec
+    return spec
+
+
+def get_app(name: str) -> AppSpec:
+    """Resolve an app by name, importing its module on first use."""
+    if name not in _APPS:
+        module_name = _APP_MODULES.get(name)
+        if module_name is None:
+            raise ValueError(
+                f"unknown app {name!r}; available apps: {', '.join(available_apps())}"
+            )
+        module = import_module(module_name)
+        if name not in _APPS:
+            # app modules register via their app_spec() factory
+            register_app(module.app_spec())
+    return _APPS[name]
+
+
+def available_apps() -> list[str]:
+    """Names of every registrable application."""
+    return sorted(set(_APPS) | set(_APP_MODULES))

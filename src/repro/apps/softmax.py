@@ -31,7 +31,32 @@ __all__ = [
     "run_softmax",
     "softmax_reference",
     "softmax_performance",
+    "app_spec",
 ]
+
+
+def app_spec():
+    """The softmax :class:`~repro.apps.registry.AppSpec` for the autotuner.
+
+    Softmax has no tiling to tune — the interesting axis is the execution
+    strategy (the fused LEGO/Triton kernel vs the eager multi-kernel
+    framework path), which is what Figure 11 compares.
+    """
+    from ..tune.space import Choice, SearchSpace
+    from .registry import AppSpec, register_app
+
+    n = 4096
+    space = SearchSpace(Choice("implementation", ("lego", "triton", "pytorch")))
+
+    return register_app(AppSpec(
+        name="softmax",
+        backend="triton",
+        space=space,
+        evaluate=lambda config: softmax_performance(SoftmaxConfig(M=n, N=n), config["implementation"]),
+        generate=lambda config: generate_softmax_kernel() if config["implementation"] == "lego" else None,
+        paper_config={"implementation": "lego"},
+        description="Fused softmax vs eager framework (Figure 11)",
+    ))
 
 
 SOFTMAX_TEMPLATE = '''\

@@ -36,6 +36,7 @@ __all__ = [
     "run_stencil",
     "stencil_performance",
     "stencil_speedup",
+    "app_spec",
 ]
 
 
@@ -229,3 +230,35 @@ def stencil_speedup(spec: StencilSpec, n: int = 512, brick: int = 8) -> dict[str
         "time_brick": time_brick,
         "speedup": time_array / time_brick,
     }
+
+
+def app_spec():
+    """The stencil :class:`~repro.apps.registry.AppSpec` for the autotuner.
+
+    The axes are the data layout (brick vs row-major array), the brick side
+    and the stencil shape; the brick layout wins for every shape, which is
+    Figure 12c's result.
+    """
+    from ..tune.space import Choice, SearchSpace
+    from .registry import AppSpec, register_app
+
+    n = 512
+    by_name = {spec.name: spec for spec in STENCILS}
+    space = SearchSpace(
+        Choice("layout", ("brick", "array")),
+        Choice("brick", (8, 4, 16)),
+        Choice("stencil", tuple(by_name)),
+    )
+
+    def evaluate(config):
+        return stencil_performance(by_name[config["stencil"]], config.get("n", n),
+                                   config["layout"], config["brick"])
+
+    return register_app(AppSpec(
+        name="stencil",
+        backend="cuda",
+        space=space,
+        evaluate=evaluate,
+        paper_config={"layout": "brick"},
+        description="3-D stencil data-layout sweep (Figure 12c)",
+    ))

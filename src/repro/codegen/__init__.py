@@ -1,21 +1,34 @@
-"""Code generation: templates, contexts and backend generators.
+"""Code generation: templates, contexts and the unified backend registry.
 
 * :func:`render_template` — the ``{{ }}`` placeholder engine,
 * :class:`CodegenContext` — symbols, assumptions and named layout bindings,
-* :func:`generate_triton_kernel` / :func:`generate_cuda_kernel` — backend
-  template instantiation,
+* :class:`GeneratedKernel` / :class:`Backend` / :func:`get_backend` /
+  :func:`register_backend` — the backend protocol and registry shared by the
+  Triton, CUDA and MLIR generators (one lower-render-validate path, one
+  result type),
+* :func:`generate_triton_kernel` / :func:`generate_cuda_kernel` — thin
+  wrappers over the registry kept for existing call sites,
 * :func:`generate_accessor_wrapper` — CUDA accessor-struct emission for
   layouts applied per-access (the NW integration style),
 * :class:`GenerationReport`, :func:`time_generation`,
   :func:`compare_expansion_strategies` — the latency / op-count reporting used
   by Tables III and IV.
 
-The MLIR backend lives in :mod:`repro.codegen.mlir` and is re-exported lazily
-to keep the MLIR substrate optional at import time.
+The MLIR backend lives in :mod:`repro.codegen.mlir` and registers lazily
+(``get_backend("mlir")`` imports it on first use) to keep the MLIR substrate
+optional at import time.
 """
 
 from .template import TemplateError, extract_placeholders, render_template
 from .context import CodegenContext, LoweredBinding, lower_expression
+from .backend import (
+    Backend,
+    GeneratedKernel,
+    TemplateBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .triton import TritonKernel, generate_triton_kernel
 from .cuda import CudaKernel, generate_accessor_wrapper, generate_cuda_kernel
 from .pipeline import GenerationReport, compare_expansion_strategies, time_generation
@@ -27,6 +40,12 @@ __all__ = [
     "CodegenContext",
     "LoweredBinding",
     "lower_expression",
+    "Backend",
+    "GeneratedKernel",
+    "TemplateBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "TritonKernel",
     "generate_triton_kernel",
     "CudaKernel",

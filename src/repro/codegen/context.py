@@ -155,7 +155,7 @@ class CodegenContext:
 
     # -- lowering -----------------------------------------------------------------
 
-    def _lowering_key(self) -> tuple:
+    def _lowering_key(self, weights: CostWeights) -> tuple:
         """Identity key of the inputs that determine the lowering result."""
         binding_ids = []
         for name, value in self._bindings.items():
@@ -171,34 +171,41 @@ class CodegenContext:
             tuple(binding_ids),
             tuple(sorted(self._substitutions.items())),
             self.pre_expand,
-            self.weights,
+            weights,
             self.env.fingerprint,
         )
 
-    def lower(self) -> dict[str, LoweredBinding]:
+    def lower(self, cost_weights: CostWeights | None = None) -> dict[str, LoweredBinding]:
         """Simplify every binding; records the wall-clock generation time.
 
-        The result is cached: as long as no binding, substitution or
-        environment fact changed since the previous call, the previously
-        lowered bindings are returned without re-simplifying anything
-        (``render`` and ``total_ops`` both call ``lower``).
+        ``cost_weights`` optionally overrides the context's operation-count
+        weights for this lowering — pass :meth:`CostWeights.gpu_default` to
+        make the expanded-vs-unexpanded variant selection use GPU-realistic
+        division/modulo costs instead of the paper's flat counts.
+
+        The result is cached: as long as no binding, substitution,
+        environment fact or weighting changed since the previous call, the
+        previously lowered bindings are returned without re-simplifying
+        anything (``render`` and ``total_ops`` both call ``lower``).
         """
-        if self._lowered is not None and self._lowered_key == self._lowering_key():
+        weights = cost_weights or self.weights
+        if self._lowered is not None and self._lowered_key == self._lowering_key(weights):
             return self._lowered
         started = time.perf_counter()
         stats_before = CACHE_STATS.snapshot()
         lowered: dict[str, LoweredBinding] = {}
         for name, value in self._bindings.items():
-            lowered[name] = self._lower_one(name, value)
+            lowered[name] = self._lower_one(name, value, weights)
         self.generation_seconds = time.perf_counter() - started
         self.last_cache_stats = CACHE_STATS.delta(stats_before, CACHE_STATS.snapshot())
         self._lowered = lowered
         # Key computed after lowering: contribute_env may have added facts on
         # the first pass, and the key must reflect the settled environment.
-        self._lowered_key = self._lowering_key()
+        self._lowered_key = self._lowering_key(weights)
         return lowered
 
-    def _lower_one(self, name: str, value) -> LoweredBinding:
+    def _lower_one(self, name: str, value, weights: CostWeights | None = None) -> LoweredBinding:
+        weights = weights or self.weights
         substitutions = dict(self._substitutions)
         if isinstance(value, LayoutSlice):
             value.contribute_env(self.env)
@@ -206,8 +213,8 @@ class CodegenContext:
             expr = value.offset
         else:
             expr = as_expr(value)
-        raw_ops = operation_count(expr, self.weights)
-        simplified, variant, ops = lower_expression(expr, self.env, self.pre_expand, self.weights)
+        raw_ops = operation_count(expr, weights)
+        simplified, variant, ops = lower_expression(expr, self.env, self.pre_expand, weights)
         return LoweredBinding(
             name=name,
             expr=simplified,

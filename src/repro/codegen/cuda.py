@@ -24,21 +24,31 @@ from typing import Mapping
 from ..core.blocks import GroupBy
 from ..core.perms import GenP
 from ..symbolic import CPrinter
-from .context import CodegenContext, LoweredBinding
-from .template import extract_placeholders, render_template
+from .backend import GeneratedKernel, TemplateBackend, get_backend, register_backend
+from .context import CodegenContext
 
-__all__ = ["CudaKernel", "generate_cuda_kernel", "generate_accessor_wrapper"]
+__all__ = ["CudaKernel", "CudaBackend", "generate_cuda_kernel", "generate_accessor_wrapper"]
 
 
 @dataclass
-class CudaKernel:
+class CudaKernel(GeneratedKernel):
     """A generated CUDA kernel: source text plus lowering metadata."""
 
-    name: str
-    source: str
-    bindings: dict[str, LoweredBinding]
     launch_bounds: dict[str, int] = field(default_factory=dict)
-    generation_seconds: float = 0.0
+
+
+@register_backend
+class CudaBackend(TemplateBackend):
+    """Template instantiation printed with C syntax (``/`` and ``%``)."""
+
+    name = "cuda"
+    printer_cls = CPrinter
+    kernel_cls = CudaKernel
+
+    def kernel_kwargs(self, options: dict) -> dict:
+        launch_bounds = options.pop("launch_bounds", None)
+        super().kernel_kwargs(options)
+        return {"launch_bounds": dict(launch_bounds or {})}
 
 
 def generate_cuda_kernel(
@@ -48,27 +58,13 @@ def generate_cuda_kernel(
     extra_bindings: Mapping[str, object] | None = None,
     launch_bounds: Mapping[str, int] | None = None,
 ) -> CudaKernel:
-    """Instantiate a CUDA kernel template with LEGO-lowered index expressions."""
-    lowered = context.lower()
-    printer = CPrinter()
-    rendered: dict[str, object] = {
-        binding_name: binding.render(printer) for binding_name, binding in lowered.items()
-    }
-    if extra_bindings:
-        for key, value in extra_bindings.items():
-            rendered.setdefault(key, value)
-    missing = [p for p in extract_placeholders(template) if p not in rendered]
-    if missing:
-        raise ValueError(
-            f"template for kernel {name!r} has unbound placeholders: {', '.join(missing)}"
-        )
-    source = render_template(template, rendered)
-    return CudaKernel(
-        name=name,
-        source=source,
-        bindings=lowered,
-        launch_bounds=dict(launch_bounds or {}),
-        generation_seconds=context.generation_seconds or 0.0,
+    """Instantiate a CUDA kernel template with LEGO-lowered index expressions.
+
+    Thin wrapper over ``get_backend("cuda").generate`` kept for existing
+    call sites.
+    """
+    return get_backend("cuda").generate(
+        name, template, context, extra_bindings, launch_bounds=launch_bounds
     )
 
 

@@ -103,11 +103,16 @@ def time_generation(
             "mapping; reported op counts are 0 (unknown), not measured",
             stacklevel=2,
         )
+    details: dict[str, object] = {}
+    backend = getattr(result, "backend", "")
+    if backend:
+        details["backend"] = backend
     report = GenerationReport(
         name=name,
         generation_seconds=elapsed,
         original_ops=original_ops,
         optimized_ops=optimized_ops,
+        details=details,
         cache_stats=stats_delta,
     )
     return result, report

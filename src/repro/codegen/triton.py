@@ -9,6 +9,12 @@ In this reproduction the generated kernels are strings of *mini-Triton*
 source: syntactically the same ``tl.*`` calls as real Triton, executed by the
 NumPy-backed interpreter in :mod:`repro.minitriton` (the substitution for a
 GPU + the Triton compiler documented in DESIGN.md).
+
+The actual lower-render-validate sequence lives in the shared
+:class:`~repro.codegen.backend.TemplateBackend`; this module contributes the
+Triton printer, the :class:`TritonKernel` result type and the registry entry
+(``get_backend("triton")``).  :func:`generate_triton_kernel` is kept as a
+thin wrapper over the registry for existing call sites.
 """
 
 from __future__ import annotations
@@ -17,27 +23,31 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..symbolic import TritonPrinter
-from .context import CodegenContext, LoweredBinding
-from .template import extract_placeholders, render_template
+from .backend import GeneratedKernel, TemplateBackend, register_backend
+from .context import CodegenContext
 
-__all__ = ["TritonKernel", "generate_triton_kernel"]
+__all__ = ["TritonKernel", "TritonBackend", "generate_triton_kernel"]
 
 
 @dataclass
-class TritonKernel:
+class TritonKernel(GeneratedKernel):
     """A generated Triton kernel: source text plus lowering metadata."""
 
-    name: str
-    source: str
-    bindings: dict[str, LoweredBinding]
     constants: dict[str, int] = field(default_factory=dict)
-    generation_seconds: float = 0.0
 
-    def binding_ops(self) -> int:
-        """Total arithmetic operations across the generated index expressions."""
-        from ..symbolic import operation_count
 
-        return operation_count([b.expr for b in self.bindings.values()])
+@register_backend
+class TritonBackend(TemplateBackend):
+    """Template instantiation printed with Triton syntax (``//``, ``tl.arange``)."""
+
+    name = "triton"
+    printer_cls = TritonPrinter
+    kernel_cls = TritonKernel
+
+    def kernel_kwargs(self, options: dict) -> dict:
+        constants = options.pop("constants", None)
+        super().kernel_kwargs(options)
+        return {"constants": dict(constants or {})}
 
 
 def generate_triton_kernel(
@@ -53,25 +63,12 @@ def generate_triton_kernel(
     values) — useful for names that are not index expressions, such as data
     types.  Every placeholder in the template must be covered by either the
     context bindings or ``extra_bindings``.
+
+    Thin wrapper over ``get_backend("triton").generate`` kept for existing
+    call sites.
     """
-    lowered = context.lower()
-    printer = TritonPrinter()
-    rendered: dict[str, object] = {
-        binding_name: binding.render(printer) for binding_name, binding in lowered.items()
-    }
-    if extra_bindings:
-        for key, value in extra_bindings.items():
-            rendered.setdefault(key, value)
-    missing = [p for p in extract_placeholders(template) if p not in rendered]
-    if missing:
-        raise ValueError(
-            f"template for kernel {name!r} has unbound placeholders: {', '.join(missing)}"
-        )
-    source = render_template(template, rendered)
-    return TritonKernel(
-        name=name,
-        source=source,
-        bindings=lowered,
-        constants=dict(constants or {}),
-        generation_seconds=context.generation_seconds or 0.0,
+    from .backend import get_backend
+
+    return get_backend("triton").generate(
+        name, template, context, extra_bindings, constants=constants
     )

@@ -101,6 +101,19 @@ class TimeBreakdown:
     def microseconds(self) -> float:
         return self.total * 1e6
 
+    def as_dict(self) -> dict[str, float | str]:
+        """JSON-friendly form (used by the autotune benchmark artifact)."""
+        return {
+            "total": self.total,
+            "compute": self.compute,
+            "dram": self.dram,
+            "l2": self.l2,
+            "smem": self.smem,
+            "overhead": self.overhead,
+            "occupancy": self.occupancy,
+            "bound": self.bound,
+        }
+
 
 def occupancy_factor(cost: KernelCost, device: DeviceSpec) -> float:
     """How well the launch fills the machine (0..1].

@@ -1,0 +1,34 @@
+"""Layout autotuning: declarative search spaces + candidate ranking.
+
+The paper's central claim is "change the layout, not the code"; its
+evaluation is a hand-driven sweep over layout/tiling configurations.  This
+package makes that sweep a first-class subsystem:
+
+* :class:`SearchSpace` / :class:`Choice` — declarative configuration spaces
+  (tile sizes, orderings, coarsening factors, skew/swizzle selections),
+* :func:`autotune` / :func:`sweep` — generate every candidate through the
+  unified backend registry, evaluate it on the analytic device model and
+  rank by (estimated time, GPU-weighted index-op count),
+* :class:`ResultCache` — persistent evaluation cache keyed off the
+  hash-consed lowered index expressions.
+
+Quickstart::
+
+    from repro import tune
+    result = tune.autotune("lud")
+    result.best.config      # {'block': 64, 'cuda_block': 16}
+"""
+
+from .space import Choice, SearchSpace
+from .cache import ResultCache
+from .tuner import Candidate, TuneResult, autotune, sweep
+
+__all__ = [
+    "Choice",
+    "SearchSpace",
+    "ResultCache",
+    "Candidate",
+    "TuneResult",
+    "autotune",
+    "sweep",
+]

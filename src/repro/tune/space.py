@@ -1,0 +1,94 @@
+"""Declarative configuration search spaces for the layout autotuner.
+
+A :class:`SearchSpace` is a named cartesian product of :class:`Choice`
+axes — tile sizes, orderings, coarsening factors, swizzle/skew selections —
+optionally filtered by a constraint predicate (e.g. "the CUDA block must
+divide the LUD block").  Enumeration order is deterministic (the first axis
+varies slowest) and doubles as the tie-break order of the tuner: apps list
+the paper-preferred value of each axis first so that performance-model ties
+resolve toward the configuration the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Iterator, Mapping, Sequence
+
+__all__ = ["Choice", "SearchSpace"]
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One tunable axis: a name and the ordered values it may take."""
+
+    name: str
+    values: tuple
+
+    def __init__(self, name: str, values: Sequence):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values", tuple(values))
+        if not self.values:
+            raise ValueError(f"choice {name!r} has no values")
+
+
+class SearchSpace:
+    """A cartesian product of :class:`Choice` axes with an optional constraint."""
+
+    def __init__(self, *choices: Choice, constraint: Callable[[Mapping], bool] | None = None):
+        names = [c.name for c in choices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate choice names in search space: {names}")
+        self.choices = tuple(choices)
+        self.constraint = constraint
+
+    @classmethod
+    def from_dict(cls, axes: Mapping[str, Sequence],
+                  constraint: Callable[[Mapping], bool] | None = None) -> "SearchSpace":
+        """Build a space from ``{name: values}`` (insertion order preserved)."""
+        return cls(*(Choice(name, values) for name, values in axes.items()), constraint=constraint)
+
+    def candidates(self) -> Iterator[dict]:
+        """Every configuration satisfying the constraint, in deterministic order."""
+        names = [c.name for c in self.choices]
+        for combo in product(*(c.values for c in self.choices)):
+            config = dict(zip(names, combo))
+            if self.constraint is None or self.constraint(config):
+                yield config
+
+    def __iter__(self) -> Iterator[dict]:
+        return self.candidates()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.candidates())
+
+    def subspace(self, **axes: Sequence) -> "SearchSpace":
+        """A copy with some axes narrowed to the given values (same constraint).
+
+        Used by the figure harnesses to restrict an app's full space to the
+        exact sweep a paper figure reports.
+        """
+        narrowed = []
+        unknown = set(axes) - {c.name for c in self.choices}
+        if unknown:
+            raise ValueError(f"unknown axes {sorted(unknown)}; space has "
+                             f"{[c.name for c in self.choices]}")
+        for choice in self.choices:
+            if choice.name in axes:
+                narrowed.append(Choice(choice.name, axes[choice.name]))
+            else:
+                narrowed.append(choice)
+        return SearchSpace(*narrowed, constraint=self.constraint)
+
+    def extended(self, *choices: Choice) -> "SearchSpace":
+        """A copy with extra axes appended (same constraint).
+
+        The figure harnesses use this to add a problem-size axis to an app's
+        tiling space without re-declaring (and risking drift from) the app's
+        own axes and constraints.
+        """
+        return SearchSpace(*self.choices, *choices, constraint=self.constraint)
+
+    def __repr__(self) -> str:
+        axes = ", ".join(f"{c.name}={list(c.values)!r}" for c in self.choices)
+        return f"SearchSpace({axes})"

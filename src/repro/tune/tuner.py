@@ -1,0 +1,224 @@
+"""The layout autotuner: enumerate, generate, evaluate, rank.
+
+The paper's evaluation (Figures 11-13, Table IV) is a hand-driven sweep over
+layout and tiling configurations — every figure harness used to carry its own
+loop.  This module turns that sweep into a subsystem:
+
+1. an app's declarative :class:`~repro.tune.space.SearchSpace` is enumerated
+   into candidate configurations;
+2. each candidate's kernel is generated through the unified backend registry
+   (``get_backend`` — Triton, CUDA or MLIR, whichever the app targets),
+   which yields the lowered index expressions;
+3. each candidate is evaluated with the app's analytic performance model
+   (:func:`repro.gpusim.estimate_time` under the hood) and ranked by
+   ``(estimated time, GPU-weighted index-op count, enumeration order)`` —
+   the op-count cost model breaks performance-model ties toward cheaper
+   index arithmetic, and enumeration order (paper-preferred values first)
+   breaks exact ties deterministically;
+4. results land in a persistent :class:`~repro.tune.cache.ResultCache` keyed
+   off the hash-consed lowered expressions, so re-running a sweep after an
+   unrelated change costs nothing.
+
+Evaluation can optionally fan out over a process pool (``parallel=N``) for
+trace-heavy apps; generation stays in-process because it is cache-key
+material and, since the hash-consed expression engine landed, effectively
+free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..symbolic import CostWeights
+from .cache import ResultCache
+from .space import SearchSpace
+
+__all__ = ["Candidate", "TuneResult", "autotune", "sweep"]
+
+
+@dataclass
+class Candidate:
+    """One evaluated configuration."""
+
+    config: dict
+    time_seconds: float
+    index_ops: int = 0
+    order: int = 0
+    has_kernel: bool = False
+    cached: bool = False
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def milliseconds(self) -> float:
+        return self.time_seconds * 1e3
+
+    def rank_key(self) -> tuple:
+        # Performance-model ties break toward cheaper generated index
+        # arithmetic; candidates without a generated kernel (external
+        # baselines, layouts that patch the original kernel) lose ties to
+        # ones the backend actually generated.  Enumeration order (apps list
+        # paper-preferred values first) settles exact ties deterministically.
+        ops = self.index_ops if self.has_kernel else float("inf")
+        return (self.time_seconds, ops, self.order)
+
+
+@dataclass
+class TuneResult:
+    """Every candidate of one sweep, in enumeration order, plus bookkeeping."""
+
+    app: str
+    evaluations: list[Candidate]
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ranked(self) -> list[Candidate]:
+        return sorted(self.evaluations, key=Candidate.rank_key)
+
+    @property
+    def best(self) -> Candidate:
+        return self.ranked[0]
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    def table(self) -> list[dict]:
+        """Rows (configuration + time) in enumeration order, for the harnesses."""
+        return [
+            {**c.config, "time_ms": c.milliseconds, "index_ops": c.index_ops}
+            for c in self.evaluations
+        ]
+
+    def summary(self) -> dict:
+        """Compact JSON-friendly summary (used by the benchmark artifact)."""
+        best = self.best
+        return {
+            "app": self.app,
+            "candidates": len(self.evaluations),
+            "best_config": best.config,
+            "best_time_ms": best.milliseconds,
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+def _normalize_result(result) -> dict:
+    """An app's ``evaluate`` may return seconds or a dict of metrics."""
+    if isinstance(result, Mapping):
+        if "time_seconds" not in result:
+            raise ValueError("evaluate() returned a mapping without 'time_seconds'")
+        return dict(result)
+    return {"time_seconds": float(result)}
+
+
+def _pool_evaluate(job: tuple) -> dict:
+    """Process-pool worker: resolve the app by name and evaluate one config."""
+    app_name, config = job
+    from ..apps.registry import get_app
+
+    return _normalize_result(get_app(app_name).evaluate(config))
+
+
+def autotune(
+    app,
+    space: SearchSpace | None = None,
+    cache: ResultCache | None = None,
+    cache_path=None,
+    parallel: int | None = None,
+) -> TuneResult:
+    """Sweep an app's configuration space and rank every candidate.
+
+    ``app`` is a registered app name (``"matmul"``, ``"lud"``, ...) or an
+    :class:`~repro.apps.registry.AppSpec`; ``space`` defaults to the app's
+    full declared space (narrow it with :meth:`SearchSpace.subspace`).
+    ``cache``/``cache_path`` enable the persistent result cache, and
+    ``parallel`` evaluates cache misses on a process pool of that many
+    workers.  Returns a :class:`TuneResult`; ``result.best.config`` is the
+    winning configuration.
+    """
+    from ..apps.registry import AppSpec, get_app
+
+    spec: AppSpec = app if isinstance(app, AppSpec) else get_app(app)
+    space = spec.space if space is None else space
+    cache = cache or ResultCache(cache_path)
+    gpu_weights = CostWeights.gpu_default()
+
+    started = time.perf_counter()
+    configs = list(space)
+    if not configs:
+        raise ValueError(f"search space for app {spec.name!r} is empty")
+
+    # Generation runs in-process for every candidate: it goes through the
+    # unified backend, provides the expression fingerprint the cache keys
+    # off, and supplies the op-count half of the ranking.
+    keys: list[str] = []
+    ops: list[int] = []
+    kernels: list[bool] = []
+    for config in configs:
+        expressions = None
+        index_ops = 0
+        kernel = spec.generate(config) if spec.generate is not None else None
+        if kernel is not None:
+            bindings = getattr(kernel, "bindings", None)
+            if bindings:
+                expressions = {name: str(b.expr) for name, b in bindings.items()}
+                index_ops = kernel.binding_ops(gpu_weights)
+        keys.append(ResultCache.key(spec.name, config, expressions))
+        ops.append(index_ops)
+        kernels.append(kernel is not None)
+
+    hits_before, misses_before = cache.hits, cache.misses
+    cached_results: list[dict | None] = [cache.get(key) for key in keys]
+    missing = [i for i, entry in enumerate(cached_results) if entry is None]
+
+    # Pool workers re-resolve the spec by name from a fresh process, which
+    # only works for the module-backed apps; ad-hoc AppSpecs evaluate serially.
+    from ..apps.registry import _APP_MODULES
+
+    if missing and parallel and parallel > 1 and spec.name in _APP_MODULES:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = [(spec.name, configs[i]) for i in missing]
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            fresh = list(pool.map(_pool_evaluate, jobs))
+    else:
+        fresh = [_normalize_result(spec.evaluate(configs[i])) for i in missing]
+
+    for i, result in zip(missing, fresh):
+        cache.put(keys[i], result)
+        cached_results[i] = result
+
+    freshly_evaluated = set(missing)
+    evaluations = []
+    for order, (config, entry, index_ops, has_kernel) in enumerate(
+        zip(configs, cached_results, ops, kernels)
+    ):
+        assert entry is not None
+        metrics = {k: v for k, v in entry.items() if k != "time_seconds"}
+        evaluations.append(
+            Candidate(
+                config=config,
+                time_seconds=entry["time_seconds"],
+                index_ops=index_ops,
+                order=order,
+                has_kernel=has_kernel,
+                cached=order not in freshly_evaluated,
+                metrics=metrics,
+            )
+        )
+    cache.save()
+    return TuneResult(
+        app=spec.name,
+        evaluations=evaluations,
+        wall_seconds=time.perf_counter() - started,
+        cache_hits=cache.hits - hits_before,
+        cache_misses=cache.misses - misses_before,
+    )
+
+
+#: alias: the figure harnesses read better as "sweep the paper's grid"
+sweep = autotune

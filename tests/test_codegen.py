@@ -5,11 +5,14 @@ import pytest
 
 from repro.codegen import (
     CodegenContext,
+    GeneratedKernel,
     TemplateError,
+    available_backends,
     extract_placeholders,
     generate_accessor_wrapper,
     generate_cuda_kernel,
     generate_triton_kernel,
+    get_backend,
     render_template,
     compare_expansion_strategies,
     time_generation,
@@ -96,6 +99,7 @@ def test_time_generation_extracts_op_counts():
     assert report.generation_seconds > 0
     assert report.original_ops > report.optimized_ops > 0
     assert 0 < report.reduction < 1
+    assert report.details["backend"] == "triton"
 
 
 # -- Triton backend ------------------------------------------------------------------------------
@@ -170,10 +174,12 @@ def test_lower_expr_to_ops_builds_arith():
     assert value.type.__class__.__name__ == "IndexType"
 
 
-def test_lower_expr_unbound_variable_raises():
+def test_lower_expr_unbound_variable_raises_named_valueerror():
     builder = OpBuilder(Block())
-    with pytest.raises(KeyError):
-        lower_expr_to_ops(builder, Var("nope"), {})
+    # Same shared validation as the Triton/CUDA template paths: a ValueError
+    # naming the kernel and every missing name, not a bare KeyError.
+    with pytest.raises(ValueError, match=r"'t5' has unbound SSA values: .*nope.*other"):
+        lower_expr_to_ops(builder, Var("nope") + Var("other"), {}, kernel_name="t5")
 
 
 def test_skewed_tile_layout_is_bijective_and_conflict_free():
@@ -232,3 +238,103 @@ def test_verifier_requires_terminator():
     gpu.func(module, "empty", [])
     with pytest.raises(VerificationError):
         verify_module(module)
+
+
+# -- unified backend registry -------------------------------------------------------
+
+
+def test_registry_lists_all_three_backends():
+    assert available_backends() == ["cuda", "mlir", "triton"]
+    assert get_backend("triton").name == "triton"
+    assert get_backend("mlir").name == "mlir"  # lazily imported on first use
+    with pytest.raises(ValueError, match="unknown backend 'ptx'"):
+        get_backend("ptx")
+
+
+def _simple_context() -> CodegenContext:
+    M, N = symbols("M N")
+    row = Var("row")
+    ctx = CodegenContext("k")
+    ctx.size(M, N)
+    ctx.index(row, M)
+    ctx.bind("offs", GroupBy([M, N]).OrderBy(Row(M, N))[row, :])
+    return ctx
+
+
+def test_wrappers_and_registry_generate_identical_kernels():
+    wrapper = generate_triton_kernel("k", "ptr + {{ offs }}", _simple_context())
+    registry = get_backend("triton").generate("k", "ptr + {{ offs }}", _simple_context())
+    assert wrapper.source == registry.source
+    assert wrapper.backend == registry.backend == "triton"
+    assert isinstance(wrapper, GeneratedKernel) and isinstance(registry, GeneratedKernel)
+
+    cuda_wrapper = generate_cuda_kernel("k", "ptr[{{ offs }}]", _simple_context())
+    cuda_registry = get_backend("cuda").generate("k", "ptr[{{ offs }}]", _simple_context())
+    assert cuda_wrapper.source == cuda_registry.source
+    assert cuda_wrapper.backend == "cuda"
+
+
+def test_all_backends_share_generated_kernel_result_type():
+    triton = generate_triton_kernel("k", "{{ offs }}", _simple_context())
+    cuda = generate_cuda_kernel("k", "{{ offs }}", _simple_context())
+    mlir = generate_transpose_module(64, 16, "smem")
+    for kernel in (triton, cuda, mlir):
+        assert isinstance(kernel, GeneratedKernel)
+        assert kernel.source
+        assert kernel.generation_seconds >= 0
+    assert triton.binding_ops() == cuda.binding_ops() >= 1
+    assert mlir.text == mlir.source  # MlirKernel keeps its .text alias
+    assert mlir.kernel_names == ("transpose_smem",)
+
+
+def test_backends_reject_unknown_options():
+    with pytest.raises(TypeError, match="unexpected options"):
+        get_backend("triton").generate("k", "{{ offs }}", _simple_context(), banana=1)
+
+
+def test_unbound_placeholders_error_is_uniform_across_backends():
+    ctx = CodegenContext("k")
+    ctx.bind("present", Var("x") + 1)
+    for backend in ("triton", "cuda"):
+        with pytest.raises(ValueError, match=r"kernel 'k' has unbound placeholders: absent"):
+            get_backend(backend).generate("k", "{{ present }} {{ absent }}", ctx)
+
+
+def test_transpose_without_skew_uses_row_major_tile():
+    skewed = generate_transpose_module(64, 16, "smem", skew=True)
+    plain = generate_transpose_module(64, 16, "smem", skew=False)
+    assert skewed.source != plain.source
+    # the skew's (tx + ty) % tile arithmetic disappears with the row-major tile
+    assert "arith.remsi" in skewed.source
+    assert "arith.remsi" not in plain.source
+
+
+# -- GPU-weighted variant selection -------------------------------------------------
+
+
+def test_cost_weights_flip_expansion_variant():
+    from repro.symbolic import CostWeights
+    from repro.symbolic.expr import Mod
+
+    x, y, z, w, v, a, b = symbols("x y z w v a b")
+    ctx = CodegenContext("flip")
+    ctx.size(Var("c"))
+    ctx.index(b, 8)
+    ctx.nonneg(x, y, z, w, v, a)
+    # Unexpanded the modulo survives but the factored product stays cheap;
+    # expanded the modulo simplifies away ((8a + b)*4 % 32 -> 4b) at the cost
+    # of distributing the product.  Flat weights therefore keep the
+    # unexpanded form, GPU-realistic div/mod weights prefer the expanded one.
+    expr = (x + y + z + w + v) * Var("c") + Mod((a * 8 + b) * 4, 32)
+    ctx.bind("offs", expr)
+
+    flat = ctx.lower()["offs"]
+    assert flat.variant == "unexpanded"
+
+    gpu = ctx.lower(cost_weights=CostWeights.gpu_default())["offs"]
+    assert gpu.variant == "expanded"
+    assert "%" not in str(gpu.expr)
+
+    # the lowering cache keys on the weights: asking again with flat weights
+    # returns the unexpanded choice, not the cached GPU-weighted one
+    assert ctx.lower()["offs"].variant == "unexpanded"

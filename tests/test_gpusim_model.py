@@ -1,0 +1,79 @@
+"""Occupancy and roofline behaviour of the analytic kernel model."""
+
+import pytest
+
+from repro.gpusim import A100_80GB, KernelCost, estimate_time, occupancy_factor, roofline_point
+
+
+# -- occupancy_factor ---------------------------------------------------------------
+
+
+def test_occupancy_defaults_to_full_without_block_info():
+    assert occupancy_factor(KernelCost(), A100_80GB) == 1.0
+    assert occupancy_factor(KernelCost(blocks=0.0), A100_80GB) == 1.0
+
+
+def test_occupancy_penalises_partial_waves():
+    # fewer blocks than SMs -> some SMs idle
+    half = KernelCost(blocks=A100_80GB.num_sms / 2, threads_per_block=256)
+    full = KernelCost(blocks=float(A100_80GB.num_sms * 4), threads_per_block=256)
+    assert occupancy_factor(half, A100_80GB) < occupancy_factor(full, A100_80GB)
+
+
+def test_occupancy_penalises_huge_thread_blocks():
+    # 1024-thread blocks leave only 2 resident blocks per SM (poor latency hiding)
+    big = KernelCost(blocks=1000.0, threads_per_block=1024)
+    small = KernelCost(blocks=1000.0, threads_per_block=128)
+    assert occupancy_factor(big, A100_80GB) < occupancy_factor(small, A100_80GB)
+
+
+def test_occupancy_penalises_smem_limited_residency():
+    base = dict(blocks=1000.0, threads_per_block=128)
+    light = KernelCost(**base, smem_per_block=1024.0)
+    heavy = KernelCost(**base, smem_per_block=float(A100_80GB.smem_per_sm_bytes))
+    assert occupancy_factor(heavy, A100_80GB) < occupancy_factor(light, A100_80GB)
+
+
+def test_occupancy_never_reaches_zero():
+    terrible = KernelCost(blocks=1.0, threads_per_block=32,
+                          smem_per_block=float(A100_80GB.smem_per_sm_bytes))
+    assert occupancy_factor(terrible, A100_80GB) >= 0.05
+
+
+# -- roofline_point -----------------------------------------------------------------
+
+
+def _cost(flops: float, dram_bytes: float) -> KernelCost:
+    return KernelCost(flops=flops, dram_bytes=dram_bytes,
+                      blocks=1.0e5, threads_per_block=256, threads=2.56e7)
+
+
+def test_roofline_point_memory_bound_kernel():
+    point = roofline_point(_cost(flops=1e9, dram_bytes=1e9), A100_80GB)
+    assert point["arithmetic_intensity"] == pytest.approx(1.0)
+    assert point["bound"] == "dram"
+    # achieved throughput sits below the memory roof at this intensity
+    assert point["achieved_gflops"] <= point["memory_roof_gflops"]
+
+
+def test_roofline_point_compute_bound_kernel():
+    point = roofline_point(_cost(flops=1e13, dram_bytes=1e6), A100_80GB)
+    assert point["bound"] == "compute"
+    assert point["achieved_gflops"] <= point["peak_gflops"]
+    # at this intensity the memory roof is far above the compute roof
+    assert point["memory_roof_gflops"] > point["peak_gflops"]
+
+
+def test_roofline_point_consistent_with_estimate_time():
+    cost = _cost(flops=5e11, dram_bytes=2e9)
+    point = roofline_point(cost, A100_80GB)
+    breakdown = estimate_time(cost, A100_80GB)
+    assert point["achieved_gflops"] == pytest.approx(cost.flops / breakdown.total / 1e9)
+    assert set(breakdown.as_dict()) == {
+        "total", "compute", "dram", "l2", "smem", "overhead", "occupancy", "bound",
+    }
+
+
+def test_roofline_point_infinite_intensity_without_dram_traffic():
+    point = roofline_point(KernelCost(flops=1e9, dram_bytes=0.0), A100_80GB)
+    assert point["arithmetic_intensity"] == float("inf")
