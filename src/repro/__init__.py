@@ -21,6 +21,12 @@ Mapping" (Tavakkoli, Oancea, Hall).  It provides:
 * :mod:`repro.tune` — the layout autotuner: declarative search spaces,
   candidate generation through the backend registry, analytic-model
   ranking and a persistent result cache;
+* :mod:`repro.serve` — the concurrent layout-compilation service: batch
+  submission with in-flight deduplication over a sharded two-tier kernel
+  cache, service metrics and a synthetic-traffic CLI
+  (``python -m repro.serve``);
+* :mod:`repro.cache` — the shared cache tiers (sharded in-memory LRU,
+  atomic persistent JSON store) behind the service and the autotuner;
 * :mod:`repro.bench` — the harness that regenerates every table and figure
   of the evaluation section.
 

@@ -57,6 +57,7 @@ def app_spec():
         space=space,
         evaluate=evaluate,
         generate=lambda config: generate_grouped_gemm_kernel(),
+        generate_params=(),
         paper_config={"BM": 64, "BN": 64, "BK": 32},
         description="Grouped GEMM tiling sweep (Figure 11)",
     ))

@@ -252,6 +252,7 @@ def app_spec():
         space=space,
         evaluate=evaluate,
         generate=generate,
+        generate_params=("implementation", "direction"),
         paper_config={"implementation": "lego"},
         description="Fused LayerNorm vs eager framework (Figure 11)",
     ))

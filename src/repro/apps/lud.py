@@ -257,6 +257,7 @@ def app_spec():
         space=space,
         evaluate=lambda config: lud_performance(config_of(config)),
         generate=lambda config: generate_lud_internal_kernel(config_of(config)),
+        generate_params=("n", "block", "cuda_block"),
         paper_config={"block": 64, "cuda_block": 16},
         description="LUD thread-coarsening-as-layout sweep (Figure 12b)",
     ))

@@ -288,6 +288,7 @@ def app_spec():
         space=space,
         evaluate=evaluate,
         generate=lambda config: generate_matmul_kernel(config["variant"]),
+        generate_params=("variant",),
         paper_config={"BM": 128, "BN": 128, "BK": 64, "GM": 8},
         description="FP16 matmul: operand-layout variants x Triton tutorial tiling",
     ))

@@ -371,6 +371,7 @@ def app_spec():
         space=space,
         evaluate=evaluate,
         generate=generate,
+        generate_params=("block", "layout"),
         paper_config={"layout": "antidiagonal", "block": 16},
         description="NW shared-buffer layout sweep (Figure 12a)",
     ))

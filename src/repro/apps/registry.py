@@ -21,6 +21,7 @@ factory); this module resolves names lazily so ``import repro`` stays light.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from importlib import import_module
 from typing import Callable, Mapping
@@ -41,6 +42,18 @@ class AppSpec:
     generate: Callable[[Mapping], object] | None = None
     paper_config: Mapping = field(default_factory=dict)
     description: str = ""
+    #: the config keys ``generate`` actually reads, or ``None`` when unknown
+    #: (= every key).  Declaring them lets the compilation service collapse
+    #: configurations that differ only in evaluation-side axes onto one
+    #: compile request — e.g. every matmul tiling shares the kernel of its
+    #: operand-layout variant — which is where batch dedup gets its leverage.
+    generate_params: tuple[str, ...] | None = None
+
+    def generate_config(self, config: Mapping) -> dict:
+        """Project ``config`` onto the axes that determine the generated kernel."""
+        if self.generate_params is None:
+            return dict(config)
+        return {key: config[key] for key in self.generate_params if key in config}
 
 
 _APPS: dict[str, AppSpec] = {}
@@ -64,6 +77,11 @@ def register_app(spec: AppSpec) -> AppSpec:
     return spec
 
 
+#: serialises first-use resolution so concurrent service workers racing on
+#: the same app import/register it exactly once
+_RESOLVE_LOCK = threading.Lock()
+
+
 def get_app(name: str) -> AppSpec:
     """Resolve an app by name, importing its module on first use."""
     if name not in _APPS:
@@ -72,10 +90,12 @@ def get_app(name: str) -> AppSpec:
             raise ValueError(
                 f"unknown app {name!r}; available apps: {', '.join(available_apps())}"
             )
-        module = import_module(module_name)
-        if name not in _APPS:
-            # app modules register via their app_spec() factory
-            register_app(module.app_spec())
+        with _RESOLVE_LOCK:
+            if name not in _APPS:
+                module = import_module(module_name)
+                if name not in _APPS:
+                    # app modules register via their app_spec() factory
+                    register_app(module.app_spec())
     return _APPS[name]
 
 

@@ -54,6 +54,7 @@ def app_spec():
         space=space,
         evaluate=lambda config: softmax_performance(SoftmaxConfig(M=n, N=n), config["implementation"]),
         generate=lambda config: generate_softmax_kernel() if config["implementation"] == "lego" else None,
+        generate_params=("implementation",),
         paper_config={"implementation": "lego"},
         description="Fused softmax vs eager framework (Figure 11)",
     ))

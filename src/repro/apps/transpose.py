@@ -178,6 +178,7 @@ def app_spec():
         space=space,
         evaluate=evaluate,
         generate=generate,
+        generate_params=("n", "tile", "variant", "skew", "generator"),
         # the skew axis is not part of the asserted contract: at tiles where
         # the conflict term stays under the DRAM bound the two skews tie and
         # the op-count tie-break prefers the simpler row-major tile; the

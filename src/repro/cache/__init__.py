@@ -1,0 +1,20 @@
+"""Shared caching infrastructure for the tuner and the compilation service.
+
+Two tiers live here, composed by their users:
+
+* :class:`ShardedLRUCache` — the in-memory tier: N independently locked LRU
+  shards with per-shard hit/miss/eviction counters.  Keys are arbitrary
+  hashable values; the compilation service keys on request fingerprints
+  built from interned expression identities, the cheapest stable key a
+  process can produce.
+* :class:`ResultCache` — the persistent tier: a ``key -> dict`` JSON store
+  with atomic writes (temp file + ``os.replace``) and a ``corrupt_reset``
+  flag raised when an unreadable store was discarded on load.  Grown out of
+  ``repro.tune.cache`` (which now re-exports it) so the autotuner's
+  evaluation cache and the service's kernel store share one implementation.
+"""
+
+from .persistent import ResultCache, stable_digest
+from .sharded import ShardedLRUCache
+
+__all__ = ["ResultCache", "ShardedLRUCache", "stable_digest"]

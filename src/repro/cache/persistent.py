@@ -1,0 +1,161 @@
+"""Persistent JSON-backed result store shared by the tuner and the service.
+
+Originally ``repro.tune.cache``: the autotuner's evaluation cache, keyed by a
+digest of the app, the candidate configuration and the lowered index
+expressions of the generated kernel.  The compilation service reuses the same
+store as the durable tier of its kernel cache (payloads are kernel sources
+plus metadata instead of evaluation results), so the class moved here.
+
+Durability contract:
+
+* :meth:`ResultCache.save` is **atomic**: the store is written to a temp file
+  in the destination directory and moved into place with ``os.replace``, so a
+  crashed or concurrent writer can never leave a truncated JSON file behind.
+* A load that finds an unreadable store falls back to empty and raises the
+  :attr:`corrupt_reset` flag instead of failing, so a corrupted cache costs a
+  re-fill, never an outage.
+* ``get``/``put``/``save`` are serialised by an internal lock; one instance
+  may be shared by the service's worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["ResultCache", "stable_digest"]
+
+
+def stable_digest(payload: Mapping) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``.
+
+    The one fingerprint recipe every persistent key in the project derives
+    from (the tuner's evaluation keys, the service's kernel-store keys):
+    sorted keys, ``str()`` fallback for non-JSON values, hex digest.  Keep
+    it single-sourced — a canonicalisation change applied to one copy would
+    silently diverge the stores.
+    """
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+class ResultCache:
+    """A ``key -> result-dict`` map with optional (atomic) JSON persistence."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        #: a persisted store existed but could not be read; it was discarded
+        self.corrupt_reset = False
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self._lock = threading.Lock()
+        if self.path is not None and self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text())
+                if not isinstance(loaded, dict):
+                    raise json.JSONDecodeError("store root is not an object", "", 0)
+                self._entries = loaded
+            except (OSError, json.JSONDecodeError):
+                self._entries = {}
+                self.corrupt_reset = True
+
+    @staticmethod
+    def key(
+        app: str,
+        config: Mapping,
+        expressions: Mapping[str, str] | None = None,
+        backend: str = "",
+    ) -> str:
+        """Stable digest of one candidate evaluation.
+
+        ``expressions`` maps binding names to the canonical printed form of
+        the lowered (hash-consed) index expressions, so entries invalidate
+        when the expression engine or a layout changes the generated kernel;
+        candidates whose generated kernel is unavailable key off the
+        configuration alone.  ``backend`` is the code-generation target —
+        without it two backends lowering to identical index expressions
+        would collide on one entry.  The package version salts every key so
+        entries also invalidate across releases of the analytic performance
+        model (which evaluation depends on but the expressions cannot
+        capture).
+        """
+        from .. import __version__
+
+        payload = {
+            "version": __version__,
+            "app": app,
+            "backend": backend,
+            "config": {name: config[name] for name in sorted(config)},
+            "expressions": {name: expressions[name] for name in sorted(expressions)} if expressions else None,
+        }
+        return stable_digest(payload)
+
+    def get(self, key: str) -> dict | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return entry
+
+    def put(self, key: str, result: Mapping) -> None:
+        with self._lock:
+            self._entries[key] = dict(result)
+            self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def prune(self, keep) -> int:
+        """Drop every entry for which ``keep(key, entry)`` is false.
+
+        Returns the number of entries removed.  The store's clients use this
+        to reclaim entries stranded by an invalidation-salt change (e.g. the
+        service's code-fingerprint salt) — without it a long-lived store
+        only ever grows, all dead weight eagerly loaded and re-written.
+        """
+        with self._lock:
+            doomed = [key for key, entry in self._entries.items() if not keep(key, entry)]
+            for key in doomed:
+                del self._entries[key]
+            if doomed:
+                self._dirty = True
+            return len(doomed)
+
+    def save(self) -> Path | None:
+        """Atomically write the store back (no-op without a path or changes).
+
+        The serialised store lands in a temp file next to the destination and
+        is renamed over it with ``os.replace``, which is atomic on POSIX and
+        Windows: a reader (or a crash) can only ever observe the old complete
+        store or the new complete store, never a truncated one.
+        """
+        with self._lock:
+            if self.path is None or not self._dirty:
+                return self.path
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(self._entries, sort_keys=True, indent=1)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.path.parent, prefix=self.path.name + ".", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self._dirty = False
+            return self.path

@@ -1,0 +1,153 @@
+"""A sharded, thread-safe in-memory LRU cache.
+
+The compilation service (:mod:`repro.serve`) fields many concurrent lookups
+against one shared kernel cache; a single lock would serialise them all.
+Instead the key space is partitioned over N independent shards, each an LRU
+map behind its own lock, so lookups for different keys proceed in parallel
+and the lock hold time per operation stays at a dictionary access.
+
+Per-shard hit/miss/eviction counters are maintained *inside* the shard lock,
+so the invariant ``hits + misses == lookups`` holds exactly even under
+thread churn (asserted by the concurrency tests).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Iterable
+
+__all__ = ["ShardedLRUCache"]
+
+
+class _Shard:
+    """One LRU partition: an ordered map plus counters behind a lock."""
+
+    __slots__ = ("lock", "entries", "capacity", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int):
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: Hashable) -> tuple[bool, object]:
+        with self.lock:
+            if key in self.entries:
+                self.entries.move_to_end(key)
+                self.hits += 1
+                return True, self.entries[key]
+            self.misses += 1
+            return False, None
+
+    def peek(self, key: Hashable) -> tuple[bool, object]:
+        with self.lock:
+            if key in self.entries:
+                self.entries.move_to_end(key)
+                return True, self.entries[key]
+            return False, None
+
+    def put(self, key: Hashable, value: object) -> None:
+        with self.lock:
+            if key in self.entries:
+                self.entries.move_to_end(key)
+            self.entries[key] = value
+            while len(self.entries) > self.capacity:
+                self.entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        with self.lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self.entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+
+class ShardedLRUCache:
+    """``key -> value`` LRU map partitioned over independently locked shards.
+
+    ``lookup`` distinguishes "present with value ``None``" from "absent"
+    (the service caches *negative* compilation results — apps whose
+    generator declines a configuration — so ``None`` is a legal value).
+    Shard selection uses the builtin ``hash`` of the key: stable within a
+    process, which is exactly the lifetime of the cache.
+    """
+
+    def __init__(self, shards: int = 8, capacity_per_shard: int = 512):
+        if shards < 1:
+            raise ValueError("ShardedLRUCache requires at least one shard")
+        if capacity_per_shard < 1:
+            raise ValueError("ShardedLRUCache requires a positive per-shard capacity")
+        self._shards = tuple(_Shard(capacity_per_shard) for _ in range(shards))
+
+    def _shard_for(self, key: Hashable) -> _Shard:
+        return self._shards[hash(key) % len(self._shards)]
+
+    def lookup(self, key: Hashable) -> tuple[bool, object]:
+        """Return ``(hit, value)``; a hit refreshes the entry's LRU position."""
+        return self._shard_for(key).lookup(key)
+
+    def peek(self, key: Hashable) -> tuple[bool, object]:
+        """Like :meth:`lookup` but without touching the hit/miss counters.
+
+        For callers that re-check a key they already counted one lookup for
+        (the service's under-lock race re-check), so the ``hits + misses ==
+        lookups`` accounting stays one-entry-per-request.
+        """
+        return self._shard_for(key).peek(key)
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        hit, value = self.lookup(key)
+        return value if hit else default
+
+    def put(self, key: Hashable, value: object) -> None:
+        self._shard_for(key).put(key, value)
+
+    def __len__(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards)
+
+    def __contains__(self, key: Hashable) -> bool:
+        shard = self._shard_for(key)
+        with shard.lock:
+            return key in shard.entries
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard counters, in shard-index order."""
+        return [shard.stats() for shard in self._shards]
+
+    def stats(self) -> dict:
+        """Aggregate counters plus the per-shard breakdown."""
+        per_shard = self.shard_stats()
+
+        def total(field: str) -> int:
+            return sum(s[field] for s in per_shard)
+
+        hits, misses = total("hits"), total("misses")
+        lookups = hits + misses
+        return {
+            "shards": len(per_shard),
+            "size": total("size"),
+            "capacity": total("capacity"),
+            "hits": hits,
+            "misses": misses,
+            "evictions": total("evictions"),
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "per_shard": per_shard,
+        }

@@ -61,6 +61,16 @@ class GeneratedKernel:
         """Total arithmetic operations across the generated index expressions."""
         return operation_count([b.expr for b in self.bindings.values()], weights)
 
+    def rendered_expressions(self) -> dict[str, str]:
+        """Canonical printed form of each lowered index expression.
+
+        This is the cross-process-stable fingerprint of the kernel's index
+        arithmetic: the autotuner keys its evaluation cache on it, and the
+        compilation service persists it so a kernel restored from the durable
+        cache tier keeps the same fingerprint as a freshly generated one.
+        """
+        return {name: str(binding.expr) for name, binding in self.bindings.items()}
+
 
 def raise_unbound(kernel_name: str, missing: Sequence[str], what: str = "placeholders") -> None:
     """Raise the shared unbound-name error every backend uses.

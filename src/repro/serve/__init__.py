@@ -1,0 +1,51 @@
+"""``repro.serve`` — the concurrent layout-compilation service.
+
+The ROADMAP's north star is a system that absorbs compile traffic at
+production scale; this package is the serving layer over the generation
+pipeline the earlier PRs made fast (hash-consed IR) and uniform (backend
+registry):
+
+* :class:`CompileRequest` — the value object clients submit
+  (``app``, ``config``, optional backend and cost weights),
+* :class:`CompileService` — thread-pooled execution with in-flight request
+  deduplication and a sharded two-tier kernel cache (in-memory LRU shards
+  over interned-expression fingerprints; optional persistent JSON store),
+* :class:`ServiceStats` — the metrics snapshot: per-shard hit rates,
+  p50/p95/p99 latency, queue depth, dedup and compile counters,
+* :func:`synthetic_requests` + ``python -m repro.serve`` — deterministic
+  traffic replay from the application registry's search spaces.
+
+Quickstart::
+
+    from repro.serve import CompileRequest, CompileService
+    with CompileService(workers=4) as service:
+        kernel = service.compile(CompileRequest("matmul", {"variant": "nn"}))
+        batch = service.submit_batch([...])
+        service.stats().hit_rate
+
+The autotuner (:func:`repro.tune.autotune`) routes candidate generation
+through the shared :func:`default_service`, so sweeps get batching, dedup
+and a warm cross-sweep kernel cache with no caller changes.
+"""
+
+from .metrics import LatencyRecorder, ServiceStats
+from .service import (
+    CompileRequest,
+    CompileService,
+    PersistedKernel,
+    default_compiler,
+    default_service,
+)
+from .traffic import generating_apps, synthetic_requests
+
+__all__ = [
+    "CompileRequest",
+    "CompileService",
+    "PersistedKernel",
+    "LatencyRecorder",
+    "ServiceStats",
+    "default_compiler",
+    "default_service",
+    "generating_apps",
+    "synthetic_requests",
+]

@@ -1,0 +1,99 @@
+"""``python -m repro.serve`` — replay synthetic compile traffic.
+
+Drives the compilation service with a deterministic trace drawn from the
+application registry's search spaces and reports throughput plus the full
+:class:`~repro.serve.metrics.ServiceStats` snapshot as JSON::
+
+    PYTHONPATH=src python -m repro.serve --requests 500 --workers 4 --passes 2
+
+The second pass replays the identical trace against the now-warm cache,
+which is the service's headline effect: warm throughput is dictionary-lookup
+bound while the cold pass pays for each distinct compilation once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from .service import CompileService
+from .traffic import generating_apps, synthetic_requests
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Replay synthetic layout-compilation traffic against the service.",
+    )
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated app names (default: every app that generates kernels)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="requests per pass (default: 200)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="thread-pool size (default: 4)")
+    parser.add_argument("--duplicates", type=float, default=0.5,
+                        help="fraction of the trace that re-requests earlier configs (default: 0.5)")
+    parser.add_argument("--passes", type=int, default=2,
+                        help="replays of the same trace; pass 2+ hits a warm cache (default: 2)")
+    parser.add_argument("--seed", type=int, default=0, help="traffic RNG seed (default: 0)")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="in-memory cache shards (default: 8)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="persistent kernel-store JSON path (default: memory tier only)")
+    parser.add_argument("--json", default=None, metavar="PATH", dest="json_path",
+                        help="also write the report to this file")
+    return parser
+
+
+def run_replay(args: argparse.Namespace) -> dict:
+    from ..cache import ShardedLRUCache
+
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()] if args.apps else generating_apps()
+    requests = synthetic_requests(
+        apps=apps, total=args.requests,
+        duplicate_fraction=args.duplicates, seed=args.seed,
+    )
+    distinct = len({r.local_key() for r in requests})
+    report: dict = {
+        "apps": apps,
+        "requests": len(requests),
+        "distinct": distinct,
+        "workers": args.workers,
+        "duplicate_fraction": args.duplicates,
+        "passes": [],
+    }
+    with CompileService(
+        workers=args.workers,
+        cache=ShardedLRUCache(shards=args.shards, capacity_per_shard=max(64, distinct)),
+        store=args.store,
+    ) as service:
+        for index in range(max(1, args.passes)):
+            started = time.perf_counter()
+            service.submit_batch(requests)
+            elapsed = time.perf_counter() - started
+            report["passes"].append({
+                "pass": index + 1,
+                "wall_seconds": elapsed,
+                "requests_per_second": len(requests) / elapsed if elapsed > 0 else float("inf"),
+            })
+        service.flush()
+        report["stats"] = service.stats().as_dict()
+    return report
+
+
+def main(argv: list[str] | None = None) -> dict:
+    args = _build_parser().parse_args(argv)
+    report = run_replay(args)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.json_path:
+        Path(args.json_path).write_text(text + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Service observability: latency accounting and the ``ServiceStats`` snapshot.
+
+The service records one latency sample per completed request (cache hits
+included — a hit's microseconds are part of the distribution a traffic
+replay should see) into a bounded reservoir, and exposes everything as an
+immutable :class:`ServiceStats` snapshot whose counter invariants are exact
+at quiescence (see :meth:`repro.serve.CompileService.stats` for what a
+mid-traffic snapshot can and cannot tear).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyRecorder", "ServiceStats"]
+
+
+class LatencyRecorder:
+    """Bounded, thread-safe reservoir of per-request latencies (seconds).
+
+    Keeps the most recent ``max_samples`` values (enough for stable
+    percentiles over a replay window) plus exact running count/sum, so the
+    mean never loses precision to the eviction of old samples.
+    """
+
+    def __init__(self, max_samples: int = 10_000):
+        if max_samples < 1:
+            raise ValueError("LatencyRecorder requires a positive sample bound")
+        self._lock = threading.Lock()
+        # deque(maxlen=...) evicts in O(1); a list would memmove the whole
+        # window under the lock on every hot-path record once full
+        self._samples: deque[float] = deque(maxlen=max_samples)
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += seconds
+            self._samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile over an ascending-sorted sample list."""
+        if not ordered:
+            return 0.0
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """Consistent ``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`` view."""
+        with self._lock:
+            ordered = sorted(self._samples)
+            count, total = self._count, self._total
+        return {
+            "count": count,
+            "mean_ms": (total / count) * 1e3 if count else 0.0,
+            "p50_ms": self._percentile(ordered, 0.50) * 1e3,
+            "p95_ms": self._percentile(ordered, 0.95) * 1e3,
+            "p99_ms": self._percentile(ordered, 0.99) * 1e3,
+            "max_ms": (ordered[-1] * 1e3) if ordered else 0.0,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of one :class:`~repro.serve.CompileService`.
+
+    Once the service is quiescent (every submitted future resolved), the
+    request-path counters satisfy two exact invariants (asserted by the
+    concurrency tests):
+
+    * ``submitted == memory_hits + memory_misses`` — every submission does
+      exactly one lookup in the in-memory tier, and
+    * ``memory_misses == deduped + compiled + persistent_hits + errors`` —
+      every miss either piggybacked on an in-flight compile, compiled fresh,
+      was restored from the durable tier, or failed.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    compiled: int = 0
+    deduped: int = 0
+    errors: int = 0
+    memory_hits: int = 0
+    memory_misses: int = 0
+    persistent_hits: int = 0
+    queue_depth: int = 0
+    workers: int = 0
+    store_entries: int = 0
+    latency: dict = field(default_factory=dict)
+    shards: tuple = ()
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.memory_hits + self.memory_misses
+        return (self.memory_hits / lookups) if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the CLI and the benchmark artifact emit this)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "compiled": self.compiled,
+            "deduped": self.deduped,
+            "errors": self.errors,
+            "memory_hits": self.memory_hits,
+            "memory_misses": self.memory_misses,
+            "memory_hit_rate": self.hit_rate,
+            "persistent_hits": self.persistent_hits,
+            "queue_depth": self.queue_depth,
+            "workers": self.workers,
+            "store_entries": self.store_entries,
+            "latency": dict(self.latency),
+            "shards": [dict(s) for s in self.shards],
+        }

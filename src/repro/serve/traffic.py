@@ -1,0 +1,78 @@
+"""Synthetic compile traffic drawn from the application registry.
+
+A realistic serving workload is not a uniform sweep: a few hot
+configurations dominate while a long tail of distinct ones trickles in.
+:func:`synthetic_requests` models that by drawing a unique working set from
+the apps' declared search spaces and then re-drawing a duplicate fraction
+from it — the same shape the CLI replays and the serve benchmark measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .service import CompileRequest
+
+__all__ = ["generating_apps", "synthetic_requests"]
+
+
+def generating_apps() -> list[str]:
+    """Registered apps whose spec can generate kernels (serviceable apps)."""
+    from ..apps.registry import available_apps, get_app
+
+    return [name for name in available_apps() if get_app(name).generate is not None]
+
+
+def synthetic_requests(
+    apps: Sequence[str] | None = None,
+    total: int = 1000,
+    duplicate_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[CompileRequest]:
+    """Build a deterministic traffic trace of ``total`` compile requests.
+
+    Roughly ``total * (1 - duplicate_fraction)`` requests are unique
+    configurations taken round-robin from the apps' search spaces (cycling
+    when a space is smaller than its share); the rest are duplicates drawn
+    uniformly from the unique working set.  The trace is shuffled, so
+    duplicates interleave with first sightings the way concurrent clients
+    would produce them.  Configurations are projected onto the axes each
+    app's generator actually reads (``AppSpec.generate_config``) — the same
+    projection a well-behaved client (the autotuner) applies — so requests
+    that would compile the identical kernel share one cache identity.
+    """
+    from ..apps.registry import get_app
+
+    if total < 1:
+        raise ValueError("synthetic_requests needs a positive request count")
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise ValueError("duplicate_fraction must lie in [0, 1)")
+    names = list(apps) if apps else generating_apps()
+    if not names:
+        raise ValueError("no apps with kernel generators available")
+
+    pools = {
+        name: [get_app(name).generate_config(config) for config in get_app(name).space]
+        for name in names
+    }
+    for name, pool in pools.items():
+        if not pool:
+            raise ValueError(f"app {name!r} has an empty search space")
+
+    rng = random.Random(seed)
+    unique_count = max(1, int(round(total * (1.0 - duplicate_fraction))))
+    unique: list[CompileRequest] = []
+    cursors = {name: 0 for name in names}
+    for i in range(unique_count):
+        name = names[i % len(names)]
+        pool = pools[name]
+        config = pool[cursors[name] % len(pool)]
+        cursors[name] += 1
+        unique.append(CompileRequest(app=name, config=config))
+
+    requests = list(unique)
+    while len(requests) < total:
+        requests.append(rng.choice(unique))
+    rng.shuffle(requests)
+    return requests

@@ -32,11 +32,20 @@ Arithmetic on expressions is available through the usual Python operators
 (``+``, ``-``, ``*``, ``//``, ``%``) and mirrors Python's *floor* semantics
 for division and modulo, which is also what the generated Triton / CUDA /
 MLIR code assumes for the non-negative index ranges produced by layouts.
+
+**Thread safety.**  Expression construction is safe from any number of
+threads: the intern table's check-then-insert is serialised through striped
+locks (hash of the intern key selects the stripe), with a lock-free read
+fast path, so concurrent construction of structurally identical expressions
+always yields the *same* node — the invariant the concurrent compilation
+service (:mod:`repro.serve`) depends on.  Everything downstream of
+construction is immutable and freely shareable.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Callable, Iterable, Iterator, Mapping, Sequence, Union
 
 __all__ = [
@@ -71,6 +80,23 @@ _INTERN: dict[tuple, "Expr"] = {}
 
 #: monotonically increasing ids; ``Expr.expr_id`` keys identity-based caches
 _IDS = itertools.count()
+
+# Thread-safety contract (see DESIGN.md "Thread safety of the symbolic
+# layer"): the intern table is the one piece of symbolic state shared by
+# every thread, and its check-then-insert sequence must be atomic or two
+# threads racing on the same structural key would mint two distinct nodes —
+# breaking the pointer-identity guarantee that every identity-keyed memo
+# table in the stack relies on.  Creation is therefore serialised through a
+# set of striped locks selected by the intern key's hash, with a lock-free
+# fast path: plain dict reads are safe under the GIL, so the common
+# already-interned case costs no lock at all (double-checked locking).
+_INTERN_STRIPES = 16
+_INTERN_LOCKS = tuple(threading.Lock() for _ in range(_INTERN_STRIPES))
+
+
+def _intern_lock(key: tuple) -> threading.Lock:
+    """The stripe lock guarding creation of the node with this intern key."""
+    return _INTERN_LOCKS[hash(key) % _INTERN_STRIPES]
 
 
 def intern_table_size() -> int:
@@ -335,11 +361,15 @@ class Const(Expr):
         cached = _INTERN.get(key)
         if cached is not None:
             return cached  # type: ignore[return-value]
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "value", value)
-        _finalize(obj, key)
-        _INTERN[key] = obj
-        return obj
+        with _intern_lock(key):
+            cached = _INTERN.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+            obj = object.__new__(cls)
+            object.__setattr__(obj, "value", value)
+            _finalize(obj, key)
+            _INTERN[key] = obj
+            return obj
 
     def __setattr__(self, name, value):  # immutability
         raise AttributeError("Const is immutable")
@@ -374,17 +404,26 @@ class Var(Expr):
             hash(intern_key)
         except TypeError:
             intern_key = None  # unhashable meta payload: keep a unique node
-        if intern_key is not None:
+        if intern_key is None:
+            # unhashable meta cannot be interned; the node stays unique
+            obj = object.__new__(cls)
+            object.__setattr__(obj, "name", name)
+            object.__setattr__(obj, "meta", meta_dict)
+            _finalize(obj, ("Var", name))
+            return obj
+        cached = _INTERN.get(intern_key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        with _intern_lock(intern_key):
             cached = _INTERN.get(intern_key)
             if cached is not None:
                 return cached  # type: ignore[return-value]
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "name", name)
-        object.__setattr__(obj, "meta", meta_dict)
-        _finalize(obj, ("Var", name))
-        if intern_key is not None:
+            obj = object.__new__(cls)
+            object.__setattr__(obj, "name", name)
+            object.__setattr__(obj, "meta", meta_dict)
+            _finalize(obj, ("Var", name))
             _INTERN[intern_key] = obj
-        return obj
+            return obj
 
     def __setattr__(self, name, value):
         raise AttributeError("Var is immutable")
@@ -427,12 +466,16 @@ class _NaryExpr(Expr):
         cached = _INTERN.get(key)
         if cached is not None:
             return cached
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "_args", args)
-        ekey = (cls.__name__,) + extra + tuple(a._ekey for a in args)
-        _finalize(obj, ekey)
-        _INTERN[key] = obj
-        return obj
+        with _intern_lock(key):
+            cached = _INTERN.get(key)
+            if cached is not None:
+                return cached
+            obj = object.__new__(cls)
+            object.__setattr__(obj, "_args", args)
+            ekey = (cls.__name__,) + extra + tuple(a._ekey for a in args)
+            _finalize(obj, ekey)
+            _INTERN[key] = obj
+            return obj
 
 
 class Add(_NaryExpr):
@@ -696,12 +739,16 @@ class Cmp(_NaryExpr):
         cached = _INTERN.get(key)
         if cached is not None:
             return cached  # type: ignore[return-value]
-        obj = object.__new__(cls)
-        object.__setattr__(obj, "op", op)
-        object.__setattr__(obj, "_args", (left, right))
-        _finalize(obj, ("Cmp", op, left._ekey, right._ekey))
-        _INTERN[key] = obj
-        return obj
+        with _intern_lock(key):
+            cached = _INTERN.get(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
+            obj = object.__new__(cls)
+            object.__setattr__(obj, "op", op)
+            object.__setattr__(obj, "_args", (left, right))
+            _finalize(obj, ("Cmp", op, left._ekey, right._ekey))
+            _INTERN[key] = obj
+            return obj
 
     @property
     def lhs(self) -> Expr:

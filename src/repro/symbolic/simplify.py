@@ -620,6 +620,12 @@ def expand(expr: ExprLike) -> Expr:
 
 #: ``expand`` is env-independent, so one process-global identity-keyed cache
 #: is sound; interning keeps it compact (one entry per distinct expression).
+#: Concurrency: dict reads/writes are individually atomic under the GIL and
+#: ``expand`` is a pure function of the (interned) node identity, so a race
+#: between two threads computing the same entry is benign — both write the
+#: same interned result and last-writer-wins changes nothing.  The per-env
+#: simplify/fixpoint/proof/range caches have no such story and rely on the
+#: thread-confinement contract documented on :class:`SymbolicEnv`.
 _EXPAND_CACHE: dict[int, Expr] = {}
 
 

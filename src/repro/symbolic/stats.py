@@ -11,6 +11,13 @@ can assert hit rates.
 Counters are process-global and monotonically increasing; callers that want
 a delta snapshot the counters before and after (see
 :func:`CacheCounters.snapshot` and :func:`CacheCounters.delta`).
+
+Concurrency: the counters are diagnostics, not control flow, so increments
+are deliberately unlocked — under free-threaded contention an increment can
+occasionally be lost, which keeps the symbolic hot path free of a global
+lock.  Exact accounting under threads lives where it is load-bearing: the
+compilation service's sharded kernel cache and :class:`~repro.serve.
+ServiceStats` count under their own locks.
 """
 
 from __future__ import annotations

@@ -111,6 +111,15 @@ class SymbolicEnv:
 
     Environments are mutated in place by the ``declare_*`` helpers; the
     layout-lowering context builds one environment per kernel.
+
+    **Thread confinement.**  Unlike the intern table (which is lock-striped
+    and shared by every thread), an environment and its memo caches are NOT
+    internally synchronised: an instance must only be used by one thread at
+    a time.  This is by construction in the concurrent compilation service —
+    every compile request builds its own :class:`~repro.codegen.context.
+    CodegenContext` and therefore its own environment inside one worker
+    thread — and is the documented contract for any other caller.  Use
+    :meth:`copy` to hand independent snapshots to multiple threads.
     """
 
     def __init__(self):

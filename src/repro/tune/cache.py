@@ -1,89 +1,15 @@
 """Persistent evaluation cache for the layout autotuner.
 
-Candidate evaluation has two costs: generating the kernel (cheap since the
-hash-consed expression engine landed) and evaluating it (traces on the
-mini-CUDA substrate can dominate).  The cache stores evaluation results
-keyed by a digest of
-
-* the app name and the candidate configuration, and
-* the *lowered index expressions* of the generated kernel (their canonical
-  printed form — the stable cross-process fingerprint of the hash-consed
-  expression nodes).
-
-Including the expressions means the cache self-invalidates whenever the
-expression engine or a layout definition changes the generated kernel, while
-staying valid across unrelated code changes.  The store is a single JSON
-file, loaded eagerly and written back with :meth:`ResultCache.save`.
+The implementation moved to :mod:`repro.cache.persistent` when the
+compilation service (:mod:`repro.serve`) started reusing the same JSON store
+as the durable tier of its kernel cache; this module remains the autotuner's
+historical import path.  See :class:`repro.cache.ResultCache` for the key
+scheme (app + config + lowered-expression fingerprint + backend) and the
+atomic-save durability contract.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-from pathlib import Path
-from typing import Mapping
+from ..cache.persistent import ResultCache
 
 __all__ = ["ResultCache"]
-
-
-class ResultCache:
-    """A ``key -> result-dict`` map with optional JSON persistence."""
-
-    def __init__(self, path: str | Path | None = None):
-        self.path = Path(path) if path is not None else None
-        self.hits = 0
-        self.misses = 0
-        self._entries: dict[str, dict] = {}
-        self._dirty = False
-        if self.path is not None and self.path.exists():
-            try:
-                self._entries = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError):
-                self._entries = {}
-
-    @staticmethod
-    def key(app: str, config: Mapping, expressions: Mapping[str, str] | None = None) -> str:
-        """Stable digest of one candidate evaluation.
-
-        ``expressions`` maps binding names to the canonical printed form of
-        the lowered (hash-consed) index expressions, so entries invalidate
-        when the expression engine or a layout changes the generated kernel;
-        candidates whose generated kernel is unavailable key off the
-        configuration alone.  The package version salts every key so entries
-        also invalidate across releases of the analytic performance model
-        (which evaluation depends on but the expressions cannot capture).
-        """
-        from .. import __version__
-
-        payload = {
-            "version": __version__,
-            "app": app,
-            "config": {name: config[name] for name in sorted(config)},
-            "expressions": {name: expressions[name] for name in sorted(expressions)} if expressions else None,
-        }
-        digest = hashlib.sha256(json.dumps(payload, sort_keys=True, default=str).encode())
-        return digest.hexdigest()
-
-    def get(self, key: str) -> dict | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return entry
-
-    def put(self, key: str, result: Mapping) -> None:
-        self._entries[key] = dict(result)
-        self._dirty = True
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def save(self) -> Path | None:
-        """Write the store back to disk (no-op without a path or changes)."""
-        if self.path is None or not self._dirty:
-            return self.path
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(self._entries, sort_keys=True, indent=1))
-        self._dirty = False
-        return self.path

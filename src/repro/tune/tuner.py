@@ -6,9 +6,12 @@ loop.  This module turns that sweep into a subsystem:
 
 1. an app's declarative :class:`~repro.tune.space.SearchSpace` is enumerated
    into candidate configurations;
-2. each candidate's kernel is generated through the unified backend registry
-   (``get_backend`` — Triton, CUDA or MLIR, whichever the app targets),
-   which yields the lowered index expressions;
+2. each candidate's kernel is generated through the compilation service
+   (:mod:`repro.serve`), which drives the unified backend registry
+   (``get_backend`` — Triton, CUDA or MLIR, whichever the app targets) on a
+   worker pool: candidates that differ only in evaluation-side axes collapse
+   onto one compile request (``AppSpec.generate_params``), and independent
+   sweeps in one process share a warm kernel cache;
 3. each candidate is evaluated with the app's analytic performance model
    (:func:`repro.gpusim.estimate_time` under the hood) and ranked by
    ``(estimated time, GPU-weighted index-op count, enumeration order)`` —
@@ -16,13 +19,12 @@ loop.  This module turns that sweep into a subsystem:
    index arithmetic, and enumeration order (paper-preferred values first)
    breaks exact ties deterministically;
 4. results land in a persistent :class:`~repro.tune.cache.ResultCache` keyed
-   off the hash-consed lowered expressions, so re-running a sweep after an
-   unrelated change costs nothing.
+   off the hash-consed lowered expressions (and the backend name), so
+   re-running a sweep after an unrelated change costs nothing.
 
 Evaluation can optionally fan out over a process pool (``parallel=N``) for
-trace-heavy apps; generation stays in-process because it is cache-key
-material and, since the hash-consed expression engine landed, effectively
-free.
+trace-heavy apps; generation runs through the (thread-pooled) service
+because it is cache-key material that every worker must agree on.
 """
 
 from __future__ import annotations
@@ -123,12 +125,52 @@ def _pool_evaluate(job: tuple) -> dict:
     return _normalize_result(get_app(app_name).evaluate(config))
 
 
+def _service_backed(spec) -> bool:
+    """Can the shared compile service resolve this exact spec by name?
+
+    Ad-hoc :class:`~repro.apps.registry.AppSpec` objects (tests, notebooks)
+    are not reachable through the registry — or worse, could shadow a
+    registered name with a different generator — so they generate inline.
+    """
+    from ..apps.registry import _APP_MODULES, get_app
+
+    if spec.name not in _APP_MODULES:
+        return False
+    try:
+        return get_app(spec.name) is spec
+    except ValueError:
+        return False
+
+
+def _generate_kernels(spec, configs: list[dict], service) -> list:
+    """One kernel (or ``None``) per config, through the compile service.
+
+    Registry-backed apps batch-submit one request per *projected* config
+    (``AppSpec.generate_config``): candidates differing only in
+    evaluation-side axes dedup onto a single compilation, and the service's
+    shared cache keeps repeated sweeps warm.
+    """
+    if spec.generate is None:
+        return [None] * len(configs)
+    if not _service_backed(spec):
+        return [spec.generate(config) for config in configs]
+    from ..serve import CompileRequest, default_service
+
+    service = service or default_service()
+    requests = [
+        CompileRequest(app=spec.name, config=spec.generate_config(config))
+        for config in configs
+    ]
+    return service.submit_batch(requests)
+
+
 def autotune(
     app,
     space: SearchSpace | None = None,
     cache: ResultCache | None = None,
     cache_path=None,
     parallel: int | None = None,
+    service=None,
 ) -> TuneResult:
     """Sweep an app's configuration space and rank every candidate.
 
@@ -137,8 +179,12 @@ def autotune(
     full declared space (narrow it with :meth:`SearchSpace.subspace`).
     ``cache``/``cache_path`` enable the persistent result cache, and
     ``parallel`` evaluates cache misses on a process pool of that many
-    workers.  Returns a :class:`TuneResult`; ``result.best.config`` is the
-    winning configuration.
+    workers.  ``service`` overrides the shared
+    :func:`repro.serve.default_service` used for candidate generation of
+    registry-backed apps; ad-hoc specs the registry cannot resolve always
+    generate inline (their ``generate`` callable is unreachable through a
+    service compiler).  Returns a :class:`TuneResult`;
+    ``result.best.config`` is the winning configuration.
     """
     from ..apps.registry import AppSpec, get_app
 
@@ -152,22 +198,24 @@ def autotune(
     if not configs:
         raise ValueError(f"search space for app {spec.name!r} is empty")
 
-    # Generation runs in-process for every candidate: it goes through the
-    # unified backend, provides the expression fingerprint the cache keys
-    # off, and supplies the op-count half of the ranking.
+    # Generation goes through the compilation service: it drives the unified
+    # backend, provides the expression fingerprint the cache keys off, and
+    # supplies the op-count half of the ranking.
     keys: list[str] = []
     ops: list[int] = []
     kernels: list[bool] = []
-    for config in configs:
+    for config, kernel in zip(configs, _generate_kernels(spec, configs, service)):
         expressions = None
         index_ops = 0
-        kernel = spec.generate(config) if spec.generate is not None else None
-        if kernel is not None:
-            bindings = getattr(kernel, "bindings", None)
-            if bindings:
-                expressions = {name: str(b.expr) for name, b in bindings.items()}
+        # Ad-hoc specs may generate objects that are not GeneratedKernels
+        # (plain source text, say); they degrade to config-only cache keys.
+        renderer = getattr(kernel, "rendered_expressions", None)
+        if renderer is not None:
+            rendered = renderer()
+            if rendered:
+                expressions = rendered
                 index_ops = kernel.binding_ops(gpu_weights)
-        keys.append(ResultCache.key(spec.name, config, expressions))
+        keys.append(ResultCache.key(spec.name, config, expressions, backend=spec.backend))
         ops.append(index_ops)
         kernels.append(kernel is not None)
 

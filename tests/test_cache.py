@@ -1,0 +1,151 @@
+"""The shared cache package: sharded LRU tier + persistent JSON tier."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cache import ResultCache, ShardedLRUCache
+
+
+# -- sharded in-memory tier ---------------------------------------------------------
+
+
+def test_sharded_lru_roundtrip_and_negative_values():
+    cache = ShardedLRUCache(shards=4, capacity_per_shard=8)
+    cache.put("a", 1)
+    cache.put("b", None)  # negative results are legal values, not misses
+    assert cache.get("a") == 1
+    assert cache.lookup("b") == (True, None)
+    assert cache.lookup("missing") == (False, None)
+    assert "a" in cache and "missing" not in cache
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_sharded_lru_evicts_least_recently_used():
+    cache = ShardedLRUCache(shards=1, capacity_per_shard=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes "a"; "b" is now the LRU entry
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.stats()["evictions"] == 1
+
+
+def test_sharded_lru_rejects_degenerate_shapes():
+    with pytest.raises(ValueError):
+        ShardedLRUCache(shards=0)
+    with pytest.raises(ValueError):
+        ShardedLRUCache(capacity_per_shard=0)
+
+
+def test_sharded_lru_stats_aggregate_per_shard():
+    cache = ShardedLRUCache(shards=4, capacity_per_shard=8)
+    for i in range(16):
+        cache.put(i, i)
+    hits = sum(1 for i in range(16) if cache.lookup(i)[0])
+    cache.lookup("nope")
+    stats = cache.stats()
+    assert stats["shards"] == 4 and len(stats["per_shard"]) == 4
+    assert stats["hits"] == sum(s["hits"] for s in stats["per_shard"]) == hits
+    assert stats["misses"] == 1
+    assert 0.0 < stats["hit_rate"] < 1.0
+
+
+def test_sharded_lru_counters_consistent_under_threads():
+    cache = ShardedLRUCache(shards=4, capacity_per_shard=64)
+    threads, per_thread = 8, 500
+    barrier = threading.Barrier(threads)
+
+    def worker(seed: int):
+        barrier.wait()
+        for i in range(per_thread):
+            key = (seed * i) % 96  # overlapping key space across threads
+            if i % 3 == 0:
+                cache.put(key, key)
+            else:
+                cache.lookup(key)
+
+    pool = [threading.Thread(target=worker, args=(t + 1,)) for t in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    stats = cache.stats()
+    lookups = threads * sum(1 for i in range(per_thread) if i % 3 != 0)
+    assert stats["hits"] + stats["misses"] == lookups
+    assert len(cache) <= 4 * 64
+
+
+# -- persistent tier ----------------------------------------------------------------
+
+
+def test_result_cache_save_is_atomic_and_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "store.json"
+    cache = ResultCache(path)
+    cache.put("k", {"time_seconds": 1.0})
+    cache.save()
+    assert json.loads(path.read_text()) == {"k": {"time_seconds": 1.0}}
+    # the temp file was renamed over the destination, not left behind
+    assert [p.name for p in tmp_path.iterdir()] == ["store.json"]
+    # unchanged store: save is a no-op that still reports the path
+    assert cache.save() == path
+
+
+def test_result_cache_corrupt_store_resets_and_flags(tmp_path):
+    path = tmp_path / "store.json"
+    path.write_text('{"k": {"time_seconds" TRUNCATED')
+    cache = ResultCache(path)
+    assert cache.corrupt_reset is True
+    assert len(cache) == 0
+    # the reset store works and persists over the corpse atomically
+    cache.put("k", {"time_seconds": 2.0})
+    cache.save()
+    assert ResultCache(path).corrupt_reset is False
+    assert ResultCache(path).get("k") == {"time_seconds": 2.0}
+
+
+def test_result_cache_non_object_root_counts_as_corrupt(tmp_path):
+    path = tmp_path / "store.json"
+    path.write_text("[1, 2, 3]")
+    cache = ResultCache(path)
+    assert cache.corrupt_reset is True and len(cache) == 0
+
+
+def test_result_cache_missing_or_absent_path_is_not_corrupt(tmp_path):
+    assert ResultCache(tmp_path / "never-written.json").corrupt_reset is False
+    assert ResultCache(None).corrupt_reset is False
+
+
+def test_result_cache_key_includes_backend():
+    base = ResultCache.key("app", {"a": 1}, {"offs": "N*row"}, backend="triton")
+    assert ResultCache.key("app", {"a": 1}, {"offs": "N*row"}, backend="cuda") != base
+    assert ResultCache.key("app", {"a": 1}, {"offs": "N*row"}) != base
+    # same backend, same payload: stable
+    assert ResultCache.key("app", {"a": 1}, {"offs": "N*row"}, backend="triton") == base
+
+
+def test_result_cache_concurrent_writers_never_truncate(tmp_path):
+    path = tmp_path / "store.json"
+    cache = ResultCache(path)
+    threads = 8
+    barrier = threading.Barrier(threads)
+
+    def worker(tid: int):
+        barrier.wait()
+        for i in range(25):
+            cache.put(f"{tid}-{i}", {"time_seconds": float(i)})
+            cache.save()
+
+    pool = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    # whatever interleaving happened, the file on disk is complete JSON
+    reloaded = ResultCache(path)
+    assert reloaded.corrupt_reset is False
+    assert len(reloaded) == threads * 25

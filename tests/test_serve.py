@@ -1,0 +1,334 @@
+"""The concurrent compilation service and the symbolic layer's thread safety."""
+
+import threading
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.cache import ShardedLRUCache
+from repro.serve import (
+    CompileRequest,
+    CompileService,
+    PersistedKernel,
+    synthetic_requests,
+)
+from repro.serve.service import kernel_from_payload, kernel_payload
+from repro.symbolic import CostWeights, Var
+
+
+# -- the symbolic layer under threads -----------------------------------------------
+
+
+def test_parallel_interning_yields_one_node():
+    """N threads racing to build the same expression get the same object."""
+    from repro.symbolic.expr import Add, FloorDiv, Mod, Mul
+
+    threads = 8
+    barrier = threading.Barrier(threads)
+    results: list = [None] * threads
+
+    def build(slot: int):
+        # fresh variable names so this test really exercises first interning
+        a, b, c = Var("tsafe_a"), Var("tsafe_b"), Var("tsafe_c")
+        barrier.wait()
+        results[slot] = Mod(FloorDiv(Add(Mul(a, 7), Mul(b, 3), 11), c), Add(a, c))
+
+    pool = [threading.Thread(target=build, args=(i,)) for i in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    ids = {expr.expr_id for expr in results}
+    assert len(ids) == 1, "racing constructors minted distinct nodes"
+    assert all(expr is results[0] for expr in results)
+
+
+def test_parallel_generation_matches_sequential_goldens(tmp_path):
+    """Concurrent batch compiles are byte-identical to the inline path."""
+    requests = [
+        CompileRequest("matmul", {"variant": "nn"}),
+        CompileRequest("matmul", {"variant": "tn"}),
+        CompileRequest("lud", {"n": 1024, "block": 64, "cuda_block": 16}),
+        CompileRequest("softmax", {"implementation": "lego"}),
+    ] * 4
+    sequential = [get_app(r.app).generate(r.config).source for r in requests]
+    with CompileService(workers=4) as service:
+        kernels = service.submit_batch(requests)
+    assert [k.source for k in kernels] == sequential
+    # and the first two match the checked-in goldens byte for byte
+    from pathlib import Path
+
+    golden = Path(__file__).parent / "golden"
+    assert kernels[0].source == (golden / "matmul_nn.triton.txt").read_text()
+    assert kernels[1].source == (golden / "matmul_tn.triton.txt").read_text()
+
+
+# -- requests -----------------------------------------------------------------------
+
+
+def test_request_keys_are_value_based():
+    a = CompileRequest("matmul", {"variant": "nn"})
+    b = CompileRequest("matmul", {"variant": "nn"})
+    c = CompileRequest("matmul", {"variant": "tn"})
+    assert a.local_key() == b.local_key() and a.stable_key() == b.stable_key()
+    assert a.local_key() != c.local_key() and a.stable_key() != c.stable_key()
+    weighted = CompileRequest("matmul", {"variant": "nn"}, cost_weights=CostWeights.gpu_default())
+    assert weighted.local_key() != a.local_key()
+    assert weighted.stable_key() != a.stable_key()
+    backended = CompileRequest("matmul", {"variant": "nn"}, backend="triton")
+    assert backended.local_key() != a.local_key()
+
+
+def test_stable_key_is_salted_by_the_code_fingerprint(monkeypatch):
+    from repro.serve import service as service_module
+
+    request = CompileRequest("matmul", {"variant": "nn"})
+    baseline = request.stable_key()
+    assert request.stable_key() == baseline  # stable within one process
+    # different source tree -> different durable-tier key space
+    monkeypatch.setattr(service_module, "_CODE_FINGERPRINT", "edited-source")
+    assert request.stable_key() != baseline
+
+
+def test_request_config_is_copied():
+    config = {"variant": "nn"}
+    request = CompileRequest("matmul", config)
+    config["variant"] = "tt"
+    assert request.config == {"variant": "nn"}
+
+
+# -- deduplication and counters -----------------------------------------------------
+
+
+def _counting_compiler():
+    calls: list[tuple] = []
+    lock = threading.Lock()
+
+    def compiler(request: CompileRequest):
+        with lock:
+            calls.append(request.local_key())
+        return get_app(request.app).generate(request.config)
+
+    return compiler, calls
+
+
+def test_batch_compiles_each_distinct_kernel_exactly_once():
+    compiler, calls = _counting_compiler()
+    distinct = [
+        CompileRequest("matmul", {"variant": v}) for v in ("nn", "nt", "tn", "tt")
+    ] + [CompileRequest("softmax", {"implementation": "lego"})]
+    requests = distinct * 8  # 40 requests, 5 distinct kernels
+    with CompileService(compiler=compiler, workers=4) as service:
+        kernels = service.submit_batch(requests)
+        stats = service.stats()
+    assert len(calls) == len(distinct), "a kernel compiled more than once"
+    assert sorted(set(calls)) == sorted(r.local_key() for r in distinct)
+    assert stats.compiled == len(distinct)
+    assert stats.deduped + stats.memory_hits == len(requests) - len(distinct)
+    assert stats.deduped > 0, "a 4-worker batch of 8x duplicates must dedup in flight"
+    # all duplicates share the leader's kernel object
+    assert kernels[0] is kernels[5] is kernels[-5]
+
+
+def test_stats_invariants_hold_under_concurrent_submitters():
+    compiler, calls = _counting_compiler()
+    requests = synthetic_requests(apps=["matmul", "softmax", "layernorm"],
+                                  total=120, duplicate_fraction=0.7, seed=3)
+    distinct = len({r.local_key() for r in requests})
+    service = CompileService(compiler=compiler, workers=4)
+    threads = 6
+    barrier = threading.Barrier(threads)
+    chunks = [requests[i::threads] for i in range(threads)]
+
+    def client(chunk):
+        barrier.wait()
+        service.submit_batch(chunk)
+
+    pool = [threading.Thread(target=client, args=(chunk,)) for chunk in chunks]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    stats = service.stats()
+    service.close()
+    assert stats.submitted == stats.completed == len(requests)
+    assert stats.submitted == stats.memory_hits + stats.memory_misses
+    assert stats.memory_misses == stats.deduped + stats.compiled + stats.persistent_hits + stats.errors
+    assert stats.compiled == len(calls) == distinct
+    assert stats.errors == 0 and stats.queue_depth == 0
+    assert stats.latency["count"] == len(requests)
+    assert sum(s["hits"] for s in stats.shards) == stats.memory_hits
+
+
+def test_negative_results_are_cached_not_recompiled():
+    compiler, calls = _counting_compiler()
+    request = CompileRequest("softmax", {"implementation": "pytorch"})  # generator declines
+    with CompileService(compiler=compiler, workers=2) as service:
+        assert service.compile(request) is None
+        assert service.compile(request) is None
+        stats = service.stats()
+    assert len(calls) == 1
+    assert stats.memory_hits == 1
+
+
+def test_compiler_errors_propagate_and_are_not_cached():
+    attempts = []
+
+    def flaky(request):
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise RuntimeError("transient backend failure")
+        return get_app(request.app).generate(request.config)
+
+    request = CompileRequest("matmul", {"variant": "nn"})
+    with CompileService(compiler=flaky, workers=2) as service:
+        with pytest.raises(RuntimeError, match="transient"):
+            service.compile(request)
+        kernel = service.compile(request)  # error was not cached; retried
+        stats = service.stats()
+    assert kernel is not None and len(attempts) == 2
+    assert stats.errors == 1 and stats.compiled == 1
+
+
+def test_closed_service_rejects_submissions():
+    service = CompileService(workers=1)
+    service.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        service.submit(CompileRequest("matmul", {"variant": "nn"}))
+
+
+# -- the persistent tier ------------------------------------------------------------
+
+
+def test_persistent_tier_warms_a_fresh_service(tmp_path):
+    store = tmp_path / "kernels.json"
+    request = CompileRequest("lud", {"n": 1024, "block": 64, "cuda_block": 16})
+    with CompileService(workers=2, store=store) as first:
+        fresh = first.compile(request)
+    assert store.exists()
+
+    compiler, calls = _counting_compiler()
+    with CompileService(compiler=compiler, workers=2, store=store) as second:
+        restored = second.compile(request)
+        stats = second.stats()
+    assert calls == [], "the durable tier should have answered"
+    assert stats.persistent_hits == 1 and stats.compiled == 0
+    assert isinstance(restored, PersistedKernel)
+    assert restored.source == fresh.source
+    assert restored.rendered_expressions() == fresh.rendered_expressions()
+    assert restored.binding_ops(CostWeights.gpu_default()) == fresh.binding_ops(
+        CostWeights.gpu_default()
+    )
+
+
+def test_store_prunes_entries_stranded_by_a_code_change(tmp_path, monkeypatch):
+    from repro.cache import ResultCache
+    from repro.serve import service as service_module
+
+    store = tmp_path / "kernels.json"
+    with CompileService(workers=1, store=store) as first:
+        first.compile(CompileRequest("matmul", {"variant": "nn"}))
+    # tuner-style entries without a salt field must survive untouched
+    shared = ResultCache(store)
+    shared.put("eval-entry", {"time_seconds": 1.0})
+    shared.save()
+    assert len(ResultCache(store)) == 2
+
+    # a source edit changes the fingerprint: the stranded kernel entry is
+    # reclaimed on attach, the foreign entry is kept
+    monkeypatch.setattr(service_module, "_CODE_FINGERPRINT", "edited-source")
+    with CompileService(workers=1, store=store) as second:
+        second.compile(CompileRequest("matmul", {"variant": "nn"}))
+        assert second.stats().persistent_hits == 0  # old entry unreachable
+        assert second.stats().compiled == 1
+    reloaded = ResultCache(store)
+    assert reloaded.get("eval-entry") == {"time_seconds": 1.0}
+    assert len(reloaded) == 2  # foreign entry + the freshly salted kernel
+
+
+def test_kernel_payload_roundtrip_includes_negative_results():
+    fresh = get_app("matmul").generate({"variant": "nn"})
+    restored = kernel_from_payload(kernel_payload(fresh))
+    assert restored.source == fresh.source
+    assert restored.name == fresh.name and restored.backend == fresh.backend
+    assert restored.rendered_expressions() == fresh.rendered_expressions()
+    assert kernel_from_payload(kernel_payload(None)) is None
+
+
+# -- the autotuner on the service ---------------------------------------------------
+
+
+def test_autotune_generation_dedups_through_the_service():
+    from repro.tune import autotune
+
+    service = CompileService(workers=4, cache=ShardedLRUCache(shards=4, capacity_per_shard=512))
+    try:
+        result = autotune("matmul", service=service)
+        stats = service.stats()
+        # 144 candidates project onto the 4 operand-layout variants
+        assert stats.compiled == 4
+        assert stats.deduped + stats.memory_hits == len(result) - 4
+        # a second sweep is served entirely from the warm cache
+        again = autotune("matmul", service=service)
+        assert service.stats().compiled == 4
+        assert again.best.config == result.best.config
+        assert [c.index_ops for c in again.evaluations] == [
+            c.index_ops for c in result.evaluations
+        ]
+    finally:
+        service.close()
+
+
+def test_autotune_ranking_unchanged_by_persisted_kernels(tmp_path):
+    from repro.tune import autotune
+
+    store = tmp_path / "kernels.json"
+    with CompileService(workers=2, store=store) as first:
+        cold = autotune("lud", service=first)
+    with CompileService(workers=2, store=store) as second:
+        warm = autotune("lud", service=second)
+        stats = second.stats()
+    assert stats.persistent_hits > 0 and stats.compiled == 0
+    assert warm.best.config == cold.best.config == {"block": 64, "cuda_block": 16}
+    assert [c.index_ops for c in warm.evaluations] == [c.index_ops for c in cold.evaluations]
+    assert [c.time_seconds for c in warm.evaluations] == [
+        c.time_seconds for c in cold.evaluations
+    ]
+
+
+# -- synthetic traffic and the CLI --------------------------------------------------
+
+
+def test_synthetic_requests_are_deterministic_and_duplicated():
+    first = synthetic_requests(total=60, duplicate_fraction=0.5, seed=9)
+    second = synthetic_requests(total=60, duplicate_fraction=0.5, seed=9)
+    assert [(r.app, r.config) for r in first] == [(r.app, r.config) for r in second]
+    assert len(first) == 60
+    distinct = len({r.local_key() for r in first})
+    assert distinct <= 30  # at least the duplicate fraction repeats
+    shuffled = synthetic_requests(total=60, duplicate_fraction=0.5, seed=10)
+    assert [(r.app, r.config) for r in first] != [(r.app, r.config) for r in shuffled]
+    with pytest.raises(ValueError):
+        synthetic_requests(total=0)
+    with pytest.raises(ValueError):
+        synthetic_requests(duplicate_fraction=1.0)
+
+
+def test_cli_replay_reports_warm_second_pass(tmp_path, capsys):
+    from repro.serve.__main__ import main
+
+    out = tmp_path / "replay.json"
+    report = main([
+        "--apps", "matmul,softmax", "--requests", "40", "--workers", "2",
+        "--passes", "2", "--store", str(tmp_path / "kernels.json"),
+        "--json", str(out),
+    ])
+    assert report["requests"] == 40 and len(report["passes"]) == 2
+    stats = report["stats"]
+    assert stats["submitted"] == 80 and stats["errors"] == 0
+    # the second pass never compiles: everything is already resident
+    assert stats["compiled"] + stats["persistent_hits"] + stats["deduped"] <= 40
+    assert stats["memory_hits"] >= 40
+    assert out.exists()
+    printed = capsys.readouterr().out
+    assert '"requests_per_second"' in printed

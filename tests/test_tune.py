@@ -65,11 +65,15 @@ def test_cache_roundtrip_and_persistence(tmp_path):
     assert json.loads(path.read_text())  # plain JSON on disk
 
 
-def test_cache_key_depends_on_expressions_and_config():
+def test_cache_key_depends_on_expressions_config_and_backend():
     base = ResultCache.key("app", {"a": 1}, {"offs": "N*row"})
     assert ResultCache.key("app", {"a": 2}, {"offs": "N*row"}) != base
     assert ResultCache.key("app", {"a": 1}, {"offs": "N*row + 1"}) != base
     assert ResultCache.key("other", {"a": 1}, {"offs": "N*row"}) != base
+    # two backends lowering to identical expressions must not collide
+    assert ResultCache.key("app", {"a": 1}, {"offs": "N*row"}, backend="triton") != base
+    assert ResultCache.key("app", {"a": 1}, {"offs": "N*row"}, backend="triton") != \
+        ResultCache.key("app", {"a": 1}, {"offs": "N*row"}, backend="cuda")
     # insertion order of the config must not matter
     assert ResultCache.key("app", {"b": 2, "a": 1}) == ResultCache.key("app", {"a": 1, "b": 2})
 
@@ -131,6 +135,22 @@ def test_autotune_uses_the_persistent_cache(toy_spec, tmp_path):
     assert len(calls) == 4  # nothing re-evaluated
     assert all(c.cached for c in second.evaluations)
     assert second.best.config == first.best.config
+
+
+def test_autotune_tolerates_non_kernel_generate_results():
+    # ad-hoc specs may generate arbitrary objects (plain source text here);
+    # they rank with config-only cache keys instead of crashing
+    spec = AppSpec(
+        name="adhoc",
+        backend="triton",
+        space=SearchSpace(Choice("x", (1, 2))),
+        evaluate=lambda config: float(config["x"]),
+        generate=lambda config: f"// kernel for x={config['x']}\n",
+    )
+    result = autotune(spec)
+    assert result.best.config == {"x": 1}
+    assert all(c.has_kernel for c in result.evaluations)
+    assert all(c.index_ops == 0 for c in result.evaluations)
 
 
 def test_autotune_rejects_empty_spaces(toy_spec):
