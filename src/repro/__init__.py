@@ -27,6 +27,11 @@ Mapping" (Tavakkoli, Oancea, Hall).  It provides:
   (``python -m repro.serve``);
 * :mod:`repro.cache` — the shared cache tiers (sharded in-memory LRU,
   atomic persistent JSON store) behind the service and the autotuner;
+* :mod:`repro.check` — the differential verification subsystem: NumPy
+  reference models per app, a runner that executes every generated kernel
+  on its substrate and proves it numerically correct, property-based
+  fuzzing of the symbolic layer and a sweep CLI
+  (``python -m repro.check``);
 * :mod:`repro.bench` — the harness that regenerates every table and figure
   of the evaluation section.
 

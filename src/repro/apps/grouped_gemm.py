@@ -29,9 +29,42 @@ __all__ = [
     "generate_grouped_gemm_kernel",
     "run_grouped_gemm",
     "grouped_gemm_reference",
+    "grouped_gemm_check_reference",
+    "grouped_gemm_check_case",
     "grouped_gemm_performance",
     "app_spec",
 ]
+
+
+def grouped_gemm_check_reference(config, inputs) -> np.ndarray:
+    """Ground truth in the kernel's dtype contract: FP16 in/out, FP32 accumulate."""
+    return grouped_gemm_reference(
+        np.asarray(inputs["a"]).astype(np.float16),
+        np.asarray(inputs["b"]).astype(np.float16),
+    ).astype(np.float16)
+
+
+def grouped_gemm_check_case(config, rng):
+    """A small full-launch grouped GEMM: 2 groups of 16^3 in 8x8 tiles.
+
+    All candidates share one kernel text (``generate_params=()``), so the
+    check tiling is free to shrink to whatever the interpreter runs fastest.
+    """
+    from .registry import CheckCase
+
+    cfg = GroupedGemmConfig(groups=2, M=16, N=16, K=16, BM=8, BN=8, BK=8)
+    a = rng.standard_normal((cfg.groups, cfg.M, cfg.K)).astype(np.float16)
+    b = rng.standard_normal((cfg.groups, cfg.K, cfg.N)).astype(np.float16)
+
+    def execute(kernel):
+        return run_grouped_gemm(kernel, a, b, cfg)
+
+    return CheckCase(
+        config={"groups": cfg.groups, "M": cfg.M, "N": cfg.N, "K": cfg.K,
+                "BM": cfg.BM, "BN": cfg.BN, "BK": cfg.BK},
+        inputs={"a": a, "b": b},
+        execute=execute,
+    )
 
 
 def app_spec():
@@ -58,6 +91,8 @@ def app_spec():
         evaluate=evaluate,
         generate=lambda config: generate_grouped_gemm_kernel(),
         generate_params=(),
+        reference=grouped_gemm_check_reference,
+        check_case=grouped_gemm_check_case,
         paper_config={"BM": 64, "BN": 64, "BK": 32},
         description="Grouped GEMM tiling sweep (Figure 11)",
     ))

@@ -35,6 +35,8 @@ __all__ = [
     "generate_layernorm_backward",
     "layernorm_reference",
     "layernorm_backward_reference",
+    "layernorm_check_reference",
+    "layernorm_check_case",
     "run_layernorm_forward",
     "run_layernorm_backward",
     "layernorm_performance",
@@ -178,6 +180,41 @@ def run_layernorm_backward(kernel: TritonKernel, dy, x, w, eps: float = 1e-5, sa
     return from_device(dx_buf, (m, n)), trace
 
 
+def layernorm_check_reference(config, inputs) -> np.ndarray:
+    """NumPy ground truth for either direction of the check case."""
+    eps = config.get("eps", 1e-5)
+    if config.get("direction", "forward") == "forward":
+        return layernorm_reference(inputs["x"], inputs["w"], inputs["b"], eps)
+    return layernorm_backward_reference(inputs["dy"], inputs["x"], inputs["w"], eps)
+
+
+def layernorm_check_case(config, rng):
+    """A small full-launch LayerNorm (forward or backward) per the config."""
+    from .registry import CheckCase
+
+    if config.get("implementation", "lego") != "lego":
+        return None  # eager baselines are evaluation-only
+    direction = config.get("direction", "forward")
+    m, n = 8, 16
+    x = rng.standard_normal((m, n)).astype(np.float32)
+    w = rng.standard_normal(n).astype(np.float32)
+    resolved = {"implementation": "lego", "direction": direction, "M": m, "N": n}
+    if direction == "forward":
+        b = rng.standard_normal(n).astype(np.float32)
+        inputs = {"x": x, "w": w, "b": b}
+
+        def execute(kernel):
+            return run_layernorm_forward(kernel, x, w, b)
+    else:
+        dy = rng.standard_normal((m, n)).astype(np.float32)
+        inputs = {"dy": dy, "x": x, "w": w}
+
+        def execute(kernel):
+            return run_layernorm_backward(kernel, dy, x, w)
+
+    return CheckCase(config=resolved, inputs=inputs, execute=execute)
+
+
 def layernorm_performance(
     config: LayerNormConfig,
     implementation: str = "lego",
@@ -253,6 +290,8 @@ def app_spec():
         evaluate=evaluate,
         generate=generate,
         generate_params=("implementation", "direction"),
+        reference=layernorm_check_reference,
+        check_case=layernorm_check_case,
         paper_config={"implementation": "lego"},
         description="Fused LayerNorm vs eager framework (Figure 11)",
     ))

@@ -30,6 +30,8 @@ __all__ = [
     "build_matmul_context",
     "generate_matmul_kernel",
     "run_matmul",
+    "matmul_reference",
+    "matmul_check_case",
     "matmul_performance",
     "reference_index_ops",
     "lego_spec_index_ops",
@@ -151,9 +153,12 @@ def build_matmul_context(variant: str = "nn") -> CodegenContext:
     )
     ctx.bind_inverse(["lpid_m", "lpid_n"], compute_layout, pid)
 
-    # (2) data layouts composed with the computation layout
-    order_a = Row(M, K) if layout_a == "row" else Col(K, M)
-    order_b = Row(K, N) if layout_b == "row" else Col(N, K)
+    # (2) data layouts composed with the computation layout.  Col keeps the
+    # operand's logical (rows, cols) shape and reverses only the traversal
+    # order (see repro.core.sugar); handing it a reversed shape happens to
+    # cancel out for square operands but mis-addresses non-square ones.
+    order_a = Row(M, K) if layout_a == "row" else Col(M, K)
+    order_b = Row(K, N) if layout_b == "row" else Col(K, N)
     data_a = TileBy([M // BM, K // BK], [BM, BK]).OrderBy(order_a)
     data_b = TileBy([K // BK, N // BN], [BK, BN]).OrderBy(order_b)
     data_c = TileBy([M // BM, N // BN], [BM, BN]).OrderBy(Row(M, N))
@@ -213,6 +218,44 @@ def run_matmul(
     )
     c = from_device(c_buf, (config.M, config.N))
     return c, trace
+
+
+def matmul_reference(config, inputs) -> np.ndarray:
+    """NumPy ground truth mirroring the kernel's arithmetic contract.
+
+    Inputs are FP16, the accumulator is FP32 and the result is cast back to
+    FP16 — the same dtype path the generated kernel takes, so the
+    differential check compares like against like.
+    """
+    a = np.asarray(inputs["a"]).astype(np.float32)
+    b = np.asarray(inputs["b"]).astype(np.float32)
+    return (a @ b).astype(np.float16)
+
+
+def matmul_check_case(config, rng):
+    """A small full-launch matmul problem for the differential runner.
+
+    The kernel text depends only on the operand-layout variant, so the check
+    shrinks the problem and tiling to a 2x2 grid of 16x16 tiles the
+    mini-Triton interpreter executes in milliseconds while keeping the
+    sampled variant.
+    """
+    from .registry import CheckCase
+
+    variant = config.get("variant", "nn")
+    cfg = MatmulConfig(M=32, N=32, K=16, BM=16, BN=16, BK=8, GM=2)
+    a = rng.standard_normal((cfg.M, cfg.K)).astype(np.float16)
+    b = rng.standard_normal((cfg.K, cfg.N)).astype(np.float16)
+
+    def execute(kernel):
+        return run_matmul(kernel, a, b, cfg, variant)
+
+    return CheckCase(
+        config={"variant": variant, "M": cfg.M, "N": cfg.N, "K": cfg.K,
+                "BM": cfg.BM, "BN": cfg.BN, "BK": cfg.BK, "GM": cfg.GM},
+        inputs={"a": a, "b": b},
+        execute=execute,
+    )
 
 
 def matmul_performance(
@@ -289,6 +332,8 @@ def app_spec():
         evaluate=evaluate,
         generate=lambda config: generate_matmul_kernel(config["variant"]),
         generate_params=("variant",),
+        reference=matmul_reference,
+        check_case=matmul_check_case,
         paper_config={"BM": 128, "BN": 128, "BK": 64, "GM": 8},
         description="FP16 matmul: operand-layout variants x Triton tutorial tiling",
     ))

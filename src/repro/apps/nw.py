@@ -38,6 +38,8 @@ __all__ = [
     "nw_buffer_layout",
     "NW_BUFFER_LAYOUTS",
     "nw_reference",
+    "nw_check_reference",
+    "nw_check_case",
     "run_nw_blocked",
     "generate_nw_wrapper",
     "nw_performance",
@@ -133,6 +135,39 @@ def nw_reference(reference: np.ndarray, penalty: int) -> np.ndarray:
     return score
 
 
+def nw_check_reference(config, inputs) -> np.ndarray:
+    """Ground truth for the differential check: the sequential dynamic program."""
+    return nw_reference(inputs["reference"], config.get("penalty", 10))
+
+
+def nw_check_case(config, rng):
+    """A small full-wavefront NW problem under the configured buffer layout.
+
+    The score matrix is integer, so the check is exact: any layout that is
+    not a bijection of the shared buffer — or any staging bug — corrupts
+    cells of the dynamic program outright rather than perturbing them.
+    Executes through :func:`run_nw_blocked` for every layout value,
+    including the ones whose configuration generates no accessor wrapper
+    (row/col/affine layouts patch the original kernel).
+    """
+    from .registry import CheckCase
+
+    block = config.get("block", 16)
+    layout_name = config.get("layout", "antidiagonal")
+    cfg = NwConfig(n=2 * block, block=block)
+    reference = rng.integers(-4, 5, size=(cfg.n, cfg.n)).astype(np.int32)
+    layout = nw_buffer_layout(block, layout_name)
+
+    def execute(kernel):
+        return run_nw_blocked(reference, cfg, layout=layout)
+
+    return CheckCase(
+        config={"layout": layout_name, "block": block, "n": cfg.n, "penalty": cfg.penalty},
+        inputs={"reference": reference},
+        execute=execute,
+    )
+
+
 def _nw_block_kernel(ctx, score: GlobalArray, reference: GlobalArray, config: NwConfig,
                      wave: int, layout, block_count: int):
     """Process one block on the current wavefront (one thread per column)."""
@@ -218,6 +253,9 @@ def run_nw_blocked(
         merged.smem_profile = merged.smem_profile.merge(trace.smem_profile)
         merged.flops += trace.flops
         merged.blocks += blocks_on_wave
+        # every wave launches its full grid; without accumulating the
+        # executed count the merged trace would misreport itself as sampled
+        merged.executed_blocks += min(trace.executed_blocks, blocks_on_wave)
         merged.threads_per_block = trace.threads_per_block
         merged.smem_per_block = max(merged.smem_per_block, trace.smem_per_block)
     merged.extras = {"launches": launches}  # type: ignore[attr-defined]
@@ -372,6 +410,8 @@ def app_spec():
         evaluate=evaluate,
         generate=generate,
         generate_params=("block", "layout"),
+        reference=nw_check_reference,
+        check_case=nw_check_case,
         paper_config={"layout": "antidiagonal", "block": 16},
         description="NW shared-buffer layout sweep (Figure 12a)",
     ))

@@ -28,7 +28,29 @@ from typing import Callable, Mapping
 
 from ..tune.space import SearchSpace
 
-__all__ = ["AppSpec", "register_app", "get_app", "available_apps"]
+__all__ = ["AppSpec", "CheckCase", "register_app", "get_app", "available_apps"]
+
+
+@dataclass(frozen=True)
+class CheckCase:
+    """One executable differential-check instance of an app configuration.
+
+    Built by :attr:`AppSpec.check_case` for the verification subsystem
+    (:mod:`repro.check`): a *small, full-launch* problem whose result can be
+    compared element-wise against the app's NumPy reference model.
+
+    ``config`` is the resolved check configuration — the sampled
+    configuration with problem sizes shrunk to something the Python
+    substrates execute in milliseconds, but with every axis that determines
+    the generated kernel left intact.  ``inputs`` are the named NumPy input
+    buffers (also what :attr:`AppSpec.reference` consumes); ``execute`` runs
+    the kernel on the app's substrate at the full (never sampled) launch and
+    returns ``(output array, trace or None)``.
+    """
+
+    config: dict
+    inputs: dict
+    execute: Callable
 
 
 @dataclass(frozen=True)
@@ -48,6 +70,18 @@ class AppSpec:
     #: compile request — e.g. every matmul tiling shares the kernel of its
     #: operand-layout variant — which is where batch dedup gets its leverage.
     generate_params: tuple[str, ...] | None = None
+    #: NumPy ground-truth model ``reference(config, inputs) -> array``:
+    #: given a resolved check configuration and the named input buffers of a
+    #: :class:`CheckCase`, produce the expected output.  The differential
+    #: runner (:mod:`repro.check`) asserts the substrate execution matches
+    #: this within per-dtype tolerances.
+    reference: Callable[[Mapping, Mapping], object] | None = None
+    #: build a :class:`CheckCase` for one configuration:
+    #: ``check_case(config, rng) -> CheckCase | None`` (``None`` when the
+    #: configuration selects nothing executable, e.g. an external baseline).
+    #: ``rng`` is a ``numpy.random.Generator`` — inputs must come from it so
+    #: every check reproduces from its printed seed.
+    check_case: Callable[[Mapping, object], "CheckCase | None"] | None = None
 
     def generate_config(self, config: Mapping) -> dict:
         """Project ``config`` onto the axes that determine the generated kernel."""

@@ -30,9 +30,33 @@ __all__ = [
     "generate_softmax_kernel",
     "run_softmax",
     "softmax_reference",
+    "softmax_check_case",
     "softmax_performance",
     "app_spec",
 ]
+
+
+def softmax_check_case(config, rng):
+    """A small full-launch softmax for the differential runner.
+
+    Only the fused LEGO kernel is executable on the substrate; the eager
+    baselines are evaluation-only rows, so their configurations are skipped.
+    """
+    from .registry import CheckCase
+
+    if config.get("implementation", "lego") != "lego":
+        return None
+    m, n = 8, 16
+    x = rng.standard_normal((m, n)).astype(np.float32)
+
+    def execute(kernel):
+        return run_softmax(kernel, x)
+
+    return CheckCase(
+        config={"implementation": "lego", "M": m, "N": n},
+        inputs={"x": x},
+        execute=execute,
+    )
 
 
 def app_spec():
@@ -55,6 +79,8 @@ def app_spec():
         evaluate=lambda config: softmax_performance(SoftmaxConfig(M=n, N=n), config["implementation"]),
         generate=lambda config: generate_softmax_kernel() if config["implementation"] == "lego" else None,
         generate_params=("implementation",),
+        reference=lambda config, inputs: softmax_reference(inputs["x"]),
+        check_case=softmax_check_case,
         paper_config={"implementation": "lego"},
         description="Fused softmax vs eager framework (Figure 11)",
     ))

@@ -33,11 +33,50 @@ __all__ = [
     "brick_layout",
     "stencil_offsets",
     "stencil_reference",
+    "stencil_check_reference",
+    "stencil_check_case",
     "run_stencil",
     "stencil_performance",
     "stencil_speedup",
     "app_spec",
 ]
+
+
+def stencil_check_reference(config, inputs) -> np.ndarray:
+    """Ground truth: the NumPy stencil sweep over the logical grid."""
+    by_name = {spec.name: spec for spec in STENCILS}
+    return stencil_reference(inputs["grid"], by_name[config.get("stencil", "star-7pt")])
+
+
+def stencil_check_case(config, rng):
+    """A small full-grid stencil sweep under the configured data layout.
+
+    The output must match the row-major reference *regardless* of the
+    physical layout — that indifference is exactly what the brick layout's
+    correctness claim is — so both layout values execute the same check.
+    The grid is the smallest brick multiple that still has interior cells
+    for the stencil's radius.
+    """
+    from .registry import CheckCase
+
+    by_name = {spec.name: spec for spec in STENCILS}
+    spec = by_name[config.get("stencil", "star-7pt")]
+    brick = config.get("brick", 4)
+    n = 2 * brick
+    while n < 2 * spec.radius + 2:
+        n += brick
+    grid = rng.standard_normal((n, n, n)).astype(np.float32)
+    layout_name = config.get("layout", "brick")
+    layout = brick_layout(n, brick) if layout_name == "brick" else None
+
+    def execute(kernel):
+        return run_stencil(grid, spec, layout=layout, brick=brick)
+
+    return CheckCase(
+        config={"stencil": spec.name, "layout": layout_name, "brick": brick, "n": n},
+        inputs={"grid": grid},
+        execute=execute,
+    )
 
 
 @dataclass(frozen=True)
@@ -259,6 +298,8 @@ def app_spec():
         backend="cuda",
         space=space,
         evaluate=evaluate,
+        reference=stencil_check_reference,
+        check_case=stencil_check_case,
         paper_config={"layout": "brick"},
         description="3-D stencil data-layout sweep (Figure 12c)",
     ))

@@ -23,11 +23,46 @@ __all__ = [
     "TransposeConfig",
     "generate_transpose",
     "run_transpose",
+    "transpose_check_reference",
+    "transpose_check_case",
     "transpose_time",
     "transpose_throughput",
     "transpose_table",
     "app_spec",
 ]
+
+
+def transpose_check_reference(config, inputs) -> np.ndarray:
+    """Ground truth: the plain NumPy transpose."""
+    return np.ascontiguousarray(np.asarray(inputs["matrix"]).T)
+
+
+def transpose_check_case(config, rng):
+    """A small full-grid transpose interpreted from the generated MLIR.
+
+    The emitted module hard-codes the problem size in its memref types, so
+    the check configuration keeps the variant/skew/tile axes and shrinks
+    ``n`` to two tiles per side — the differential runner regenerates the
+    kernel at this size (its ``generate_params`` projection differs from the
+    sampled configuration's).  CUDA-SDK rows are evaluation-only baselines.
+    """
+    from .registry import CheckCase
+
+    if config.get("generator", "lego") != "lego":
+        return None
+    tile = config.get("tile", 32)
+    cfg = TransposeConfig(n=2 * tile, tile=tile)
+    matrix = rng.standard_normal((cfg.n, cfg.n)).astype(np.float32)
+
+    def execute(kernel):
+        return run_transpose(kernel, matrix, cfg)
+
+    return CheckCase(
+        config={"n": cfg.n, "tile": tile, "variant": config.get("variant", "smem"),
+                "skew": config.get("skew", 1), "generator": "lego"},
+        inputs={"matrix": matrix},
+        execute=execute,
+    )
 
 
 @dataclass(frozen=True)
@@ -179,6 +214,8 @@ def app_spec():
         evaluate=evaluate,
         generate=generate,
         generate_params=("n", "tile", "variant", "skew", "generator"),
+        reference=transpose_check_reference,
+        check_case=transpose_check_case,
         # the skew axis is not part of the asserted contract: at tiles where
         # the conflict term stays under the DRAM bound the two skews tie and
         # the op-count tie-break prefers the simpler row-major tile; the

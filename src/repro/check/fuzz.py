@@ -1,0 +1,208 @@
+"""Property-based fuzzing of the symbolic layer (the Table II substrate).
+
+The paper's rewrite rules are pinned by targeted property tests; this module
+complements them with randomized coverage: random :class:`~repro.symbolic.Expr`
+trees over a small variable set, random integer bindings, and four properties
+checked per trial —
+
+* ``simplify(e, env)`` evaluates exactly like ``e`` under the bindings,
+* ``simplify_fixpoint(e, env)`` likewise (the rules are sound to a fixpoint),
+* the :class:`~repro.symbolic.PythonPrinter` round-trips: evaluating the
+  printed text as Python reproduces the expression's value,
+* the full lowering path (``lower_expression``: expand-vs-not variant
+  selection plus simplification) preserves the value.
+
+Floor-division and modulo denominators are wrapped in ``Max(.., 1)`` so every
+generated tree is total over the sampled bindings — the same discipline the
+layout algebra itself follows for its extents.
+
+Seed discipline (the satellite contract): every trial derives its RNG from an
+explicit integer seed recorded on any failure, with no module-level RNG state
+anywhere, so ``fuzz_trial(reported_seed)`` replays one failure exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..codegen.context import lower_expression
+from ..symbolic import (
+    Const,
+    Expr,
+    Max,
+    Min,
+    PythonPrinter,
+    SymbolicEnv,
+    Var,
+    simplify,
+    simplify_fixpoint,
+)
+from .runner import stable_seed
+
+__all__ = [
+    "FUZZ_VARS",
+    "FuzzFailure",
+    "FuzzReport",
+    "random_expr",
+    "fuzz_trial",
+    "fuzz_symbolic",
+]
+
+#: the variable alphabet of generated expressions
+FUZZ_VARS = ("i", "j", "k", "m", "n")
+
+#: bindings (and declared ranges) are drawn from this inclusive interval
+VALUE_RANGE = (0, 12)
+
+#: the properties one trial asserts, in evaluation order
+PROPERTIES = ("simplify", "fixpoint", "printer", "lowering")
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One violated property, with everything needed to replay it."""
+
+    trial: int
+    seed: int
+    property: str
+    expression: str
+    bindings: dict
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {
+            "trial": self.trial,
+            "seed": self.seed,
+            "property": self.property,
+            "expression": self.expression,
+            "bindings": dict(self.bindings),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzzing run."""
+
+    trials: int
+    seed: int
+    checked: dict = field(default_factory=dict)  # property -> assertions run
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "trials": self.trials,
+            "seed": self.seed,
+            "checked": dict(self.checked),
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+
+def random_expr(rng: random.Random, depth: int = 4) -> Expr:
+    """A random expression tree over :data:`FUZZ_VARS`.
+
+    Division and modulo denominators are ``Max(sub, 1)`` — provably positive
+    under range analysis, so the tree evaluates (and simplifies) without
+    division-by-zero for any binding in :data:`VALUE_RANGE`.
+    """
+    if depth <= 0 or rng.random() < 0.25:
+        if rng.random() < 0.6:
+            return Var(rng.choice(FUZZ_VARS))
+        return Const(rng.randint(-3, 9))
+    op = rng.choice(("add", "add", "mul", "mul", "sub", "div", "mod", "min", "max"))
+    lhs = random_expr(rng, depth - 1)
+    rhs = random_expr(rng, depth - 1)
+    if op == "add":
+        return lhs + rhs
+    if op == "sub":
+        return lhs - rhs
+    if op == "mul":
+        return lhs * rhs
+    if op == "min":
+        return Min(lhs, rhs)
+    if op == "max":
+        return Max(lhs, rhs)
+    denominator = Max(rhs, 1)
+    return lhs // denominator if op == "div" else lhs % denominator
+
+
+def _draw_trial(trial_seed: int, depth: int) -> tuple[Expr, dict]:
+    """The one place a trial's expression and bindings are derived from its
+    seed — replay and reporting must never re-implement this sequence."""
+    rng = random.Random(trial_seed)
+    expr = random_expr(rng, depth)
+    bindings = {name: rng.randint(*VALUE_RANGE) for name in FUZZ_VARS}
+    return expr, bindings
+
+
+def fuzz_trial(trial_seed: int, depth: int = 4) -> list[tuple[str, str]]:
+    """Run one trial from its seed; returns ``(property, detail)`` violations.
+
+    This is the replay entry point: feed it the ``seed`` printed on a
+    :class:`FuzzFailure` and it rebuilds the identical expression, bindings
+    and environment.
+    """
+    expr, bindings = _draw_trial(trial_seed, depth)
+    env = SymbolicEnv()
+    for name in FUZZ_VARS:
+        env.declare_range(name, *VALUE_RANGE)
+    expected = expr.evaluate(bindings)
+    violations: list[tuple[str, str]] = []
+
+    def check(prop: str, fn) -> None:
+        try:
+            got = fn()
+        except Exception as exc:  # a crash is as much a soundness bug as a wrong value
+            violations.append((prop, f"raised {type(exc).__name__}: {exc}"))
+            return
+        if got != expected:
+            violations.append((prop, f"evaluated to {got}, expression gives {expected}"))
+
+    check("simplify", lambda: simplify(expr, env).evaluate(bindings))
+    check("fixpoint", lambda: simplify_fixpoint(expr, env).evaluate(bindings))
+    check(
+        "printer",
+        lambda: eval(  # noqa: S307 - text printed from our own IR
+            PythonPrinter().doprint(expr),
+            {"__builtins__": {}, "min": min, "max": max},
+            dict(bindings),
+        ),
+    )
+    check("lowering", lambda: lower_expression(expr, env)[0].evaluate(bindings))
+    if violations:
+        # annotate with the replay material once, not per property
+        printed = str(expr)
+        violations = [
+            (prop, f"{detail} [expr: {printed}; bindings: {bindings}]")
+            for prop, detail in violations
+        ]
+    return violations
+
+
+def fuzz_symbolic(trials: int = 200, seed: int = 0, depth: int = 4) -> FuzzReport:
+    """Run ``trials`` randomized soundness trials of the symbolic layer."""
+    report = FuzzReport(trials=trials, seed=seed, checked={prop: 0 for prop in PROPERTIES})
+    for trial in range(trials):
+        trial_seed = stable_seed(seed, "fuzz", trial)
+        violations = fuzz_trial(trial_seed, depth)
+        for prop in PROPERTIES:
+            report.checked[prop] += 1
+        if violations:
+            expr, bindings = _draw_trial(trial_seed, depth)
+        for prop, detail in violations:
+            report.failures.append(
+                FuzzFailure(
+                    trial=trial,
+                    seed=trial_seed,
+                    property=prop,
+                    expression=str(expr),
+                    bindings=bindings,
+                    detail=detail,
+                )
+            )
+    return report

@@ -71,6 +71,18 @@ class GeneratedKernel:
         """
         return {name: str(binding.expr) for name, binding in self.bindings.items()}
 
+    def evaluate_bindings(self, env: Mapping[str, int]) -> dict[str, int]:
+        """Evaluate every lowered index expression under integer bindings.
+
+        This is how the verification subsystem (:mod:`repro.check`) executes
+        a kernel's generated index arithmetic numerically without a substrate
+        — e.g. proving that a coarsened thread layout enumerates each element
+        of its block exactly once.  Only meaningful on freshly generated
+        kernels: cache-restored :class:`~repro.serve.service.PersistedKernel`
+        objects carry no live expression nodes and return ``{}``.
+        """
+        return {name: binding.expr.evaluate(dict(env)) for name, binding in self.bindings.items()}
+
 
 def raise_unbound(kernel_name: str, missing: Sequence[str], what: str = "placeholders") -> None:
     """Raise the shared unbound-name error every backend uses.

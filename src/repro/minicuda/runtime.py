@@ -88,6 +88,15 @@ class CudaTrace:
     def bank_conflict_factor(self) -> float:
         return self.smem_profile.average_degree
 
+    @property
+    def sampled(self) -> bool:
+        """Only a sample of the grid executed, so global arrays are partial.
+
+        Survives :meth:`scaled` (which resets ``scale`` but keeps both block
+        counts); the differential runner refuses sampled traces.
+        """
+        return self.executed_blocks < self.blocks
+
     def scaled(self) -> "CudaTrace":
         """Return a copy with all extensive counters scaled to the full grid."""
         out = CudaTrace(

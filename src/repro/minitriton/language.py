@@ -116,6 +116,12 @@ class KernelTrace:
     programs: int = 0
     #: multiplier applied when only a sample of programs was executed
     scale: float = 1.0
+    #: the launch executed only a sample of the grid, so device-buffer
+    #: contents are partial.  ``scaled()`` folds ``scale`` back into the
+    #: counters (resetting it to 1.0), so this flag — not the scale — is the
+    #: durable record that results must never be numerically compared; the
+    #: differential runner (:mod:`repro.check`) rejects traces carrying it.
+    sampled: bool = False
     extras: dict = field(default_factory=dict)
 
     def scaled(self) -> "KernelTrace":
@@ -130,6 +136,7 @@ class KernelTrace:
             tensor_core_flops=self.tensor_core_flops * self.scale,
             programs=int(self.programs * self.scale),
             scale=1.0,
+            sampled=self.sampled,
         )
         out.extras = dict(self.extras)
         return out

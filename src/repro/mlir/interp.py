@@ -58,6 +58,11 @@ class GpuLaunchResult:
     def bank_conflict_factor(self) -> float:
         return self.smem_profile.average_degree
 
+    @property
+    def sampled(self) -> bool:
+        """Only a sample of the grid executed, so memref contents are partial."""
+        return self.executed_blocks < self.blocks
+
     def scaled(self) -> "GpuLaunchResult":
         out = GpuLaunchResult(
             load_elements=self.load_elements * self.scale,

@@ -64,6 +64,9 @@ def run_replay(args: argparse.Namespace) -> dict:
         "distinct": distinct,
         "workers": args.workers,
         "duplicate_fraction": args.duplicates,
+        # the trace derives entirely from this seed (no module-level RNG
+        # state anywhere in the path), so a replayed run is bit-identical
+        "seed": args.seed,
         "passes": [],
     }
     with CompileService(

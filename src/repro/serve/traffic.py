@@ -5,6 +5,12 @@ configurations dominate while a long tail of distinct ones trickles in.
 :func:`synthetic_requests` models that by drawing a unique working set from
 the apps' declared search spaces and then re-drawing a duplicate fraction
 from it — the same shape the CLI replays and the serve benchmark measures.
+
+Seed discipline: the trace is a pure function of the explicit ``seed``
+argument — a private :class:`random.Random` instance, never module-level RNG
+state — the same end-to-end contract the verification subsystem
+(:mod:`repro.check`) follows, so every report that prints its seed replays
+bit-identically.
 """
 
 from __future__ import annotations

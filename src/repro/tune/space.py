@@ -11,6 +11,7 @@ resolve toward the configuration the paper reports.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from itertools import product
 from typing import Callable, Iterator, Mapping, Sequence
@@ -61,6 +62,27 @@ class SearchSpace:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.candidates())
+
+    def sample(self, count: int, rng: random.Random | int | None = None) -> list[dict]:
+        """``count`` randomly drawn valid configurations, without replacement.
+
+        Spaces are small enough to enumerate (the constraint must be applied
+        anyway), so sampling materialises the candidate list and draws from
+        it; when ``count`` covers the space the full enumeration is returned
+        in order.  ``rng`` is an explicit :class:`random.Random` (or an int
+        seed — never module-level state), so the verification subsystem's
+        draws reproduce from a printed seed.
+        """
+        if count < 1:
+            raise ValueError("sample() needs a positive count")
+        if rng is None or isinstance(rng, int):
+            rng = random.Random(0 if rng is None else rng)
+        population = list(self)
+        if not population:
+            raise ValueError("cannot sample from an empty search space")
+        if count >= len(population):
+            return population
+        return rng.sample(population, count)
 
     def subspace(self, **axes: Sequence) -> "SearchSpace":
         """A copy with some axes narrowed to the given values (same constraint).

@@ -75,6 +75,9 @@ class TuneResult:
     wall_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: differential-check reports of the top-ranked configs, when
+    #: ``autotune(verify_top_k=...)`` requested verification
+    verification: list = field(default_factory=list)
 
     @property
     def ranked(self) -> list[Candidate]:
@@ -171,6 +174,8 @@ def autotune(
     cache_path=None,
     parallel: int | None = None,
     service=None,
+    verify_top_k: int = 0,
+    verify_seed: int = 0,
 ) -> TuneResult:
     """Sweep an app's configuration space and rank every candidate.
 
@@ -185,6 +190,14 @@ def autotune(
     generate inline (their ``generate`` callable is unreachable through a
     service compiler).  Returns a :class:`TuneResult`;
     ``result.best.config`` is the winning configuration.
+
+    ``verify_top_k`` differentially checks the ``k`` best-ranked
+    configurations through :mod:`repro.check` before returning — a sweep
+    must not hand out a winner whose kernel computes the wrong answer — and
+    raises :class:`repro.check.CheckFailure` on the first mismatch; the
+    reports (including skips for evaluation-only baselines) land in
+    :attr:`TuneResult.verification`.  ``verify_seed`` makes the checks'
+    inputs reproducible.
     """
     from ..apps.registry import AppSpec, get_app
 
@@ -259,13 +272,22 @@ def autotune(
             )
         )
     cache.save()
-    return TuneResult(
+    result = TuneResult(
         app=spec.name,
         evaluations=evaluations,
-        wall_seconds=time.perf_counter() - started,
         cache_hits=cache.hits - hits_before,
         cache_misses=cache.misses - misses_before,
     )
+    if verify_top_k > 0:
+        from ..check import CheckFailure, run_check
+
+        for candidate in result.ranked[:verify_top_k]:
+            report = run_check(spec, candidate.config, seed=verify_seed, service=service)
+            result.verification.append(report)
+            if report.status == "failed":
+                raise CheckFailure(report)
+    result.wall_seconds = time.perf_counter() - started
+    return result
 
 
 #: alias: the figure harnesses read better as "sweep the paper's grid"

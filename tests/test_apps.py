@@ -42,6 +42,27 @@ def test_matmul_performance_ordering():
     assert ratio_large < 1.1
 
 
+@pytest.mark.parametrize("variant", ["nn", "nt", "tn", "tt"])
+@pytest.mark.parametrize("shape", [(32, 32, 16), (32, 16, 32), (16, 32, 32)])
+def test_matmul_variants_handle_non_square_shapes(variant, shape):
+    """Transposed operands must address correctly when M, N, K differ.
+
+    Regression: the ``Col`` data layouts were built with reversed logical
+    shapes, which cancels out for square operands (the only shape the suite
+    used to run) but mis-addresses non-square ones — caught by the
+    differential verification sweep.
+    """
+    m, n, k = shape
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal((m, k)).astype(np.float16)
+    b = rng.standard_normal((k, n)).astype(np.float16)
+    kernel = matmul.generate_matmul_kernel(variant)
+    config = matmul.MatmulConfig(m, n, k, BM=16, BN=16, BK=8, GM=2)
+    result, _ = matmul.run_matmul(kernel, a, b, config, variant)
+    reference = a.astype(np.float32) @ b.astype(np.float32)
+    assert np.allclose(result.astype(np.float32), reference, atol=0.1, rtol=1e-2)
+
+
 def test_matmul_rejects_unknown_variant():
     with pytest.raises(ValueError):
         matmul.build_matmul_context("xy")

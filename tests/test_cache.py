@@ -149,3 +149,63 @@ def test_result_cache_concurrent_writers_never_truncate(tmp_path):
     reloaded = ResultCache(path)
     assert reloaded.corrupt_reset is False
     assert len(reloaded) == threads * 25
+
+
+# -- edge cases: LRU order under peek/get, pruning stranded salts --------------------
+
+
+def test_sharded_lru_peek_refreshes_lru_order_without_counting():
+    cache = ShardedLRUCache(shards=1, capacity_per_shard=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    before = cache.stats()
+    assert cache.peek("a") == (True, 1)  # refreshes "a"; "b" becomes the LRU entry
+    assert cache.peek("missing") == (False, None)
+    after = cache.stats()
+    # peek is the *uncounted* probe: hit/miss counters must not move
+    assert (after["hits"], after["misses"]) == (before["hits"], before["misses"])
+    cache.put("c", 3)
+    assert "a" in cache and "c" in cache and "b" not in cache
+
+
+def test_sharded_lru_eviction_order_under_interleaved_peek_and_get():
+    cache = ShardedLRUCache(shards=1, capacity_per_shard=3)
+    for key in ("a", "b", "c"):
+        cache.put(key, key)
+    assert cache.get("a") == "a"       # order now: b, c, a
+    assert cache.peek("b") == (True, "b")  # order now: c, a, b — peek recencies too
+    cache.put("d", "d")                # evicts "c", the true LRU entry
+    assert "c" not in cache
+    assert all(key in cache for key in ("a", "b", "d"))
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    # one counted hit (“a”), zero counted misses: peeks stayed off the books
+    assert stats["hits"] == 1 and stats["misses"] == 0
+
+
+def test_result_cache_prune_on_store_of_only_stranded_salts(tmp_path):
+    path = tmp_path / "store.json"
+    stranded = {
+        "k1": {"salt": "old-version/old-code", "kernel": None},
+        "k2": {"salt": "old-version/old-code", "kernel": {"name": "dead"}},
+    }
+    path.write_text(json.dumps(stranded))
+    cache = ResultCache(path)
+    assert len(cache) == 2
+    removed = cache.prune(lambda key, entry: entry.get("salt") == "new-version/new-code")
+    assert removed == 2 and len(cache) == 0
+    # pruning dirties the store: save persists the now-empty map atomically
+    assert cache.save() == path
+    reloaded = ResultCache(path)
+    assert len(reloaded) == 0 and reloaded.corrupt_reset is False
+    # a second prune over the empty store removes nothing and stays clean
+    assert reloaded.prune(lambda key, entry: False) == 0
+
+
+def test_result_cache_prune_keeps_unsalted_entries():
+    cache = ResultCache(None)
+    cache.put("foreign", {"time_seconds": 1.0})
+    cache.put("stranded", {"salt": "old", "kernel": None})
+    removed = cache.prune(lambda key, entry: "salt" not in entry or entry["salt"] == "new")
+    assert removed == 1
+    assert cache.get("foreign") is not None and cache.get("stranded") is None

@@ -80,13 +80,28 @@ def test_minitriton_masked_access_handles_partial_tiles():
     assert np.array_equal(from_device(yb), x)
 
 
-def test_minitriton_sampled_launch_scales_trace():
+def test_minitriton_sampled_launch_scales_trace_and_flags_it():
     fn = compile_kernel(SIMPLE_KERNEL, "add_one")
     x = np.zeros(1024, dtype=np.float32)
     xb, yb = to_device(x, "x"), to_device(x.copy(), "y")
     trace = tl_launch(fn, grid=64, kernel_args={"x_ptr": xb, "y_ptr": yb, "N": 1024, "BN": 16},
                       sample_programs=8)
     assert trace.load_elements == pytest.approx(1024, rel=0.01)
+    # the scale is folded back into the counters, so the durable record that
+    # device buffers are partial is the flag (repro.check refuses such traces)
+    assert trace.sampled is True and trace.scale == 1.0
+
+
+def test_minitriton_full_launch_is_not_flagged_sampled():
+    fn = compile_kernel(SIMPLE_KERNEL, "add_one")
+    xb = to_device(np.zeros(64, dtype=np.float32), "x")
+    yb = to_device(np.zeros(64, dtype=np.float32), "y")
+    trace = tl_launch(fn, grid=4, kernel_args={"x_ptr": xb, "y_ptr": yb, "N": 64, "BN": 16})
+    assert trace.sampled is False
+    # asking for at least the whole grid is a full launch, not a sample
+    trace = tl_launch(fn, grid=4, kernel_args={"x_ptr": xb, "y_ptr": yb, "N": 64, "BN": 16},
+                      sample_programs=64)
+    assert trace.sampled is False
 
 
 def test_minitriton_dot_records_tensor_core_flops():
@@ -192,6 +207,9 @@ def test_launch_sampling_scales_blocks():
     trace = launch(kernel, grid=128, block=8, args=(array,), sample_blocks=16)
     assert trace.load_elements == pytest.approx(1024, rel=0.01)
     assert trace.blocks == 128
+    assert trace.sampled is True
+    full = launch(kernel, grid=4, block=8, args=(array,))
+    assert full.sampled is False
 
 
 def test_trace_to_cost_charges_moved_sectors():
