@@ -3,7 +3,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "LEGO: a layout expression language for code generation of "
         "hierarchical mapping (reproduction)"

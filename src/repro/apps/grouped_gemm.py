@@ -56,8 +56,8 @@ def grouped_gemm_check_case(config, rng):
     a = rng.standard_normal((cfg.groups, cfg.M, cfg.K)).astype(np.float16)
     b = rng.standard_normal((cfg.groups, cfg.K, cfg.N)).astype(np.float16)
 
-    def execute(kernel):
-        return run_grouped_gemm(kernel, a, b, cfg)
+    def execute(kernel, device=None):
+        return run_grouped_gemm(kernel, a, b, cfg, device=device)
 
     return CheckCase(
         config={"groups": cfg.groups, "M": cfg.M, "N": cfg.N, "K": cfg.K,
@@ -79,10 +79,13 @@ def app_spec():
         Choice("BK", (32, 64)),
     )
 
-    def evaluate(config):
-        cfg = GroupedGemmConfig(groups=groups, M=n, N=n, K=n,
+    def evaluate(config, device=A100_80GB):
+        # sizes and device may be overridden (figure harnesses, measured profiler)
+        cfg = GroupedGemmConfig(groups=config.get("groups", groups),
+                                M=config.get("M", n), N=config.get("N", n),
+                                K=config.get("K", n),
                                 BM=config["BM"], BN=config["BN"], BK=config["BK"])
-        return grouped_gemm_performance(cfg, "lego")
+        return grouped_gemm_performance(cfg, "lego", device=device)
 
     return register_app(AppSpec(
         name="grouped_gemm",
@@ -185,6 +188,7 @@ def run_grouped_gemm(
     b: np.ndarray,
     config: GroupedGemmConfig,
     sample_programs: int | None = None,
+    device: DeviceSpec | None = None,
 ):
     """Execute the grouped GEMM kernel; ``a`` is ``(G, M, K)``, ``b`` is ``(G, K, N)``."""
     g, m, k = a.shape
@@ -202,6 +206,7 @@ def run_grouped_gemm(
             "BM": config.BM, "BN": config.BN, "BK": config.BK,
         },
         sample_programs=sample_programs,
+        sector_bytes=device.dram_sector_bytes if device is not None else 32,
     )
     return from_device(c_buf, (g, m, n)), trace
 

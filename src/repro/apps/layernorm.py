@@ -142,7 +142,8 @@ def layernorm_backward_reference(
     return (wdy - (xhat * c1 + c2)) * rstd
 
 
-def run_layernorm_forward(kernel: TritonKernel, x, w, b, eps: float = 1e-5, sample_programs=None):
+def run_layernorm_forward(kernel: TritonKernel, x, w, b, eps: float = 1e-5, sample_programs=None,
+                          device: DeviceSpec | None = None):
     m, n = x.shape
     x_buf = to_device(x.astype(np.float32).reshape(-1), "x")
     w_buf = to_device(w.astype(np.float32), "w")
@@ -157,11 +158,13 @@ def run_layernorm_forward(kernel: TritonKernel, x, w, b, eps: float = 1e-5, samp
             "M": m, "N": n, "eps": eps, "BN": n,
         },
         sample_programs=sample_programs,
+        sector_bytes=device.dram_sector_bytes if device is not None else 32,
     )
     return from_device(y_buf, (m, n)), trace
 
 
-def run_layernorm_backward(kernel: TritonKernel, dy, x, w, eps: float = 1e-5, sample_programs=None):
+def run_layernorm_backward(kernel: TritonKernel, dy, x, w, eps: float = 1e-5, sample_programs=None,
+                           device: DeviceSpec | None = None):
     m, n = x.shape
     dy_buf = to_device(dy.astype(np.float32).reshape(-1), "dy")
     x_buf = to_device(x.astype(np.float32).reshape(-1), "x")
@@ -176,6 +179,7 @@ def run_layernorm_backward(kernel: TritonKernel, dy, x, w, eps: float = 1e-5, sa
             "M": m, "N": n, "eps": eps, "BN": n,
         },
         sample_programs=sample_programs,
+        sector_bytes=device.dram_sector_bytes if device is not None else 32,
     )
     return from_device(dx_buf, (m, n)), trace
 
@@ -203,14 +207,14 @@ def layernorm_check_case(config, rng):
         b = rng.standard_normal(n).astype(np.float32)
         inputs = {"x": x, "w": w, "b": b}
 
-        def execute(kernel):
-            return run_layernorm_forward(kernel, x, w, b)
+        def execute(kernel, device=None):
+            return run_layernorm_forward(kernel, x, w, b, device=device)
     else:
         dy = rng.standard_normal((m, n)).astype(np.float32)
         inputs = {"dy": dy, "x": x, "w": w}
 
-        def execute(kernel):
-            return run_layernorm_backward(kernel, dy, x, w)
+        def execute(kernel, device=None):
+            return run_layernorm_backward(kernel, dy, x, w, device=device)
 
     return CheckCase(config=resolved, inputs=inputs, execute=execute)
 
@@ -272,9 +276,11 @@ def app_spec():
         Choice("direction", ("forward", "backward")),
     )
 
-    def evaluate(config):
-        cfg = LayerNormConfig(M=n, N=n)
-        return layernorm_performance(cfg, config["implementation"], config["direction"])
+    def evaluate(config, device=A100_80GB):
+        # sizes and device may be overridden (figure harnesses, measured profiler)
+        cfg = LayerNormConfig(M=config.get("M", n), N=config.get("N", n))
+        return layernorm_performance(cfg, config["implementation"], config["direction"],
+                                     device=device)
 
     def generate(config):
         if config["implementation"] != "lego":

@@ -23,6 +23,7 @@ import numpy as np
 from ..codegen import CodegenContext, CudaKernel, generate_cuda_kernel
 from ..core import GroupBy, Row
 from ..gpusim import A100_80GB, DeviceSpec, KernelCost, estimate_time
+from ..minicuda import GlobalArray, launch
 from ..symbolic import Var
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "lud_blocked",
     "lud_check_reference",
     "lud_check_case",
+    "lud_perf_case",
+    "run_lud_internal",
     "check_element_offsets",
     "lud_performance",
     "lud_configurations",
@@ -239,6 +242,126 @@ def lud_check_case(config, rng):
     )
 
 
+def _lud_internal_block_kernel(ctx, m: GlobalArray, offset: int, block: int):
+    """One internal-kernel thread block on the mini-CUDA substrate.
+
+    Mirrors :data:`LUD_INTERNAL_TEMPLATE`: the block stages its two
+    perimeter panels into shared memory and each thread computes the
+    ``R x R`` elements the coarsened thread layout assigns it
+    (``i = r_i * T + ty``, ``j = r_j * T + tx`` — exactly the
+    ``element_offset`` expression the generator derives from
+    ``GroupBy([R, R], [T, T]).OrderBy(Row(B, B))``).  The inner product is
+    register-blocked the way the coarsened CUDA kernel is: per ``k`` each
+    thread loads its ``R`` panel fragments once and reuses them across the
+    ``R x R`` accumulators, which is why coarsening divides the
+    shared-memory traffic per flop — the mechanism behind Figure 12b that
+    a measured profile must reproduce.
+    """
+    b = block
+    t = ctx.blockDim.x
+    r = b // t
+    peri_row = ctx.shared_array((b, b), dtype=np.float32, name="peri_row")
+    peri_col = ctx.shared_array((b, b), dtype=np.float32, name="peri_col")
+    tx, ty = ctx.tx, ctx.ty
+    row0 = offset + (ctx.blockIdx.y + 1) * b
+    col0 = offset + (ctx.blockIdx.x + 1) * b
+    # stage the panels: each thread loads its R x R elements of each
+    for r_i in range(r):
+        for r_j in range(r):
+            i = r_i * t + ty
+            j = r_j * t + tx
+            peri_row.store(m.load(ctx, offset + i, col0 + j), i, j)
+            peri_col.store(m.load(ctx, row0 + i, offset + j), i, j)
+    ctx.syncthreads()
+    accumulators = [[np.zeros(tx.shape, dtype=np.float32) for _ in range(r)] for _ in range(r)]
+    for k in range(b):
+        col_fragment = [peri_col.load(r_i * t + ty, k) for r_i in range(r)]
+        row_fragment = [peri_row.load(k, r_j * t + tx) for r_j in range(r)]
+        for r_i in range(r):
+            for r_j in range(r):
+                accumulators[r_i][r_j] += col_fragment[r_i] * row_fragment[r_j]
+        ctx.count_flops(2 * r * r * tx.size)
+    ctx.syncthreads()
+    for r_i in range(r):
+        for r_j in range(r):
+            i = r_i * t + ty
+            j = r_j * t + tx
+            value = m.load(ctx, row0 + i, col0 + j) - accumulators[r_i][r_j]
+            m.store(ctx, value, row0 + i, col0 + j)
+
+
+def run_lud_internal(matrix: np.ndarray, config: LudConfig, step: int = 0,
+                     device: DeviceSpec = A100_80GB):
+    """Run one wave of internal-kernel blocks over the trailing submatrix.
+
+    ``matrix`` holds the in-progress factorisation with step ``step``'s
+    diagonal and perimeter phases already applied; the launch updates every
+    trailing block of that step (``(nb - step - 1)^2`` thread blocks of
+    ``cuda_block^2`` threads), returning ``(updated matrix, trace)``.  This
+    is the measured counterpart of the internal-kernel term of
+    :func:`lud_performance` — the phase that dominates end-to-end LUD time.
+    """
+    trailing = config.num_blocks - step - 1
+    if trailing < 1:
+        raise ValueError(f"step {step} of a {config.num_blocks}-block LUD has no trailing blocks")
+    static_smem = 2 * config.block * config.block * 4
+    if static_smem > device.max_static_smem_bytes:
+        # the CUDA kernel declares both panels as static __shared__ arrays,
+        # which caps the LUD block well below the SM's physical capacity
+        raise ValueError(
+            f"LUD block {config.block} needs {static_smem} bytes of static shared "
+            f"memory, over the {device.max_static_smem_bytes}-byte launch limit"
+        )
+    gmem = GlobalArray(matrix.astype(np.float32), name="m")
+    trace = launch(
+        _lud_internal_block_kernel,
+        grid=(trailing, trailing),
+        block=(config.cuda_block, config.cuda_block),
+        args=(gmem, step * config.block, config.block),
+        device=device,
+    )
+    return gmem.to_numpy(), trace
+
+
+def lud_perf_case(config, rng, device: DeviceSpec = A100_80GB):
+    """The measured-profiling case: one internal wave plus extrapolation.
+
+    Executes the first step's internal kernel on a two-block problem (one
+    trailing block) and extrapolates to the full factorisation: the
+    internal kernel launches ``(nb - k - 1)^2`` blocks at step ``k``, so
+    the per-block measurement scales by ``sum of squares``; the host loop
+    launches the diagonal, perimeter and internal kernels once per step.
+    Per-block intensive properties — shared-memory traffic per flop (the
+    register-blocking effect of coarsening), bank conflicts, coalescing —
+    are what the measurement contributes.  Configurations whose two static
+    ``__shared__`` panels exceed ``device.max_static_smem_bytes`` select
+    nothing executable (see :func:`run_lud_internal`).
+    """
+    from .registry import PerfCase
+
+    block = config.get("block", 16)
+    cuda_block = config.get("cuda_block", 16)
+    target_n = config.get("n", 2048)
+    if 2 * block * block * 4 > device.max_static_smem_bytes:
+        return None  # static __shared__ panels would not launch (see run_lud_internal)
+    cfg = LudConfig(n=2 * block, block=block, cuda_block=cuda_block)
+    matrix = (rng.standard_normal((cfg.n, cfg.n)) + cfg.n * np.eye(cfg.n)).astype(np.float32)
+
+    def execute(kernel, device=device):
+        return run_lud_internal(matrix, cfg, step=0, device=device or A100_80GB)
+
+    target_blocks = target_n // block
+    internal_blocks = sum(j * j for j in range(1, target_blocks))
+    return PerfCase(
+        config={"n": cfg.n, "block": block, "cuda_block": cuda_block},
+        inputs={"matrix": matrix},
+        execute=execute,
+        scale=float(internal_blocks),
+        launches=3 * target_blocks,
+        target_config={"n": target_n, "block": block, "cuda_block": cuda_block},
+    )
+
+
 def lud_performance(config: LudConfig, device: DeviceSpec = A100_80GB) -> float:
     """Estimated end-to-end LUD time for one (block, coarsening) configuration.
 
@@ -326,11 +449,12 @@ def app_spec():
         name="lud",
         backend="cuda",
         space=space,
-        evaluate=lambda config: lud_performance(config_of(config)),
+        evaluate=lambda config, device=A100_80GB: lud_performance(config_of(config), device=device),
         generate=lambda config: generate_lud_internal_kernel(config_of(config)),
         generate_params=("n", "block", "cuda_block"),
         reference=lud_check_reference,
         check_case=lud_check_case,
+        perf_case=lud_perf_case,
         paper_config={"block": 64, "cuda_block": 16},
         description="LUD thread-coarsening-as-layout sweep (Figure 12b)",
     ))

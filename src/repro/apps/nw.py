@@ -40,6 +40,7 @@ __all__ = [
     "nw_reference",
     "nw_check_reference",
     "nw_check_case",
+    "nw_perf_case",
     "run_nw_blocked",
     "generate_nw_wrapper",
     "nw_performance",
@@ -158,13 +159,43 @@ def nw_check_case(config, rng):
     reference = rng.integers(-4, 5, size=(cfg.n, cfg.n)).astype(np.int32)
     layout = nw_buffer_layout(block, layout_name)
 
-    def execute(kernel):
-        return run_nw_blocked(reference, cfg, layout=layout)
+    def execute(kernel, device=None):
+        return run_nw_blocked(reference, cfg, layout=layout, device=device)
 
     return CheckCase(
         config={"layout": layout_name, "block": block, "n": cfg.n, "penalty": cfg.penalty},
         inputs={"reference": reference},
         execute=execute,
+    )
+
+
+def nw_perf_case(config, rng):
+    """The measured-profiling case: the check wavefront plus extrapolation.
+
+    The bank-conflict profile of the shared score buffer — the quantity the
+    layout axis changes — is a per-block property, so the small check
+    problem measures it exactly.  Extensive traffic scales by the block
+    count; the full-size run launches one kernel per anti-diagonal wave,
+    which is where NW's launch overhead (and the benefit of fewer, larger
+    blocks) comes from.  The score matrix is integer, hence ``int32``.
+    """
+    from .registry import PerfCase
+
+    case = nw_check_case(config, rng)
+    if case is None:
+        return None
+    block = case.config["block"]
+    target_n = config.get("n", 4096)
+    target_blocks = (target_n // block) ** 2
+    case_blocks = (case.config["n"] // block) ** 2
+    return PerfCase(
+        config=case.config,
+        inputs=case.inputs,
+        execute=case.execute,
+        scale=target_blocks / case_blocks,
+        launches=2 * (target_n // block) - 1,
+        target_config={"layout": case.config["layout"], "block": block, "n": target_n},
+        dtype="int32",
     )
 
 
@@ -218,12 +249,14 @@ def run_nw_blocked(
     reference: np.ndarray,
     config: NwConfig,
     layout: GroupBy | None = None,
+    device: DeviceSpec | None = None,
 ) -> tuple[np.ndarray, CudaTrace]:
     """Run the blocked NW kernel over all wavefronts on the mini-CUDA substrate.
 
     Returns the ``(n+1) x (n+1)`` score matrix and the merged launch trace
     (which carries the shared-memory conflict profile that distinguishes the
-    two layouts).
+    two layouts).  ``device`` sets the warp width / sector granularity the
+    trace records at.
     """
     n, b = config.n, config.block
     score = np.zeros((n + 1, n + 1), dtype=np.int32)
@@ -242,7 +275,9 @@ def run_nw_blocked(
             grid=(block_count, 1),
             block=(b, 1),
             args=(score_buf, ref_buf, config, wave, layout, block_count),
+            device=device,
         )
+        merged.sector_bytes = trace.sector_bytes
         launches += 1
         merged.load_bytes += trace.load_bytes
         merged.store_bytes += trace.store_bytes
@@ -258,7 +293,7 @@ def run_nw_blocked(
         merged.executed_blocks += min(trace.executed_blocks, blocks_on_wave)
         merged.threads_per_block = trace.threads_per_block
         merged.smem_per_block = max(merged.smem_per_block, trace.smem_per_block)
-    merged.extras = {"launches": launches}  # type: ignore[attr-defined]
+    merged.extras = {"launches": launches}
     return score_buf.to_numpy(), merged
 
 
@@ -378,7 +413,7 @@ def app_spec():
         Choice("block", (16, 32, 8, 4)),
     )
 
-    def evaluate(config):
+    def evaluate(config, device=A100_80GB):
         block = config["block"]
         trace_n = 4 * block
         traced = NwConfig(n=trace_n, block=block)
@@ -386,9 +421,9 @@ def app_spec():
         rng = np.random.default_rng(0)
         reference = rng.integers(-4, 5, size=(trace_n, trace_n)).astype(np.int32)
         layout = nw_buffer_layout(block, config["layout"])
-        _, trace = run_nw_blocked(reference, traced, layout=layout)
+        _, trace = run_nw_blocked(reference, traced, layout=layout, device=device)
         return {
-            "time_seconds": nw_performance(trace, traced, target),
+            "time_seconds": nw_performance(trace, traced, target, device=device),
             "conflict_factor": trace.bank_conflict_factor,
         }
 
@@ -412,6 +447,7 @@ def app_spec():
         generate_params=("block", "layout"),
         reference=nw_check_reference,
         check_case=nw_check_case,
+        perf_case=nw_perf_case,
         paper_config={"layout": "antidiagonal", "block": 16},
         description="NW shared-buffer layout sweep (Figure 12a)",
     ))

@@ -28,7 +28,7 @@ from typing import Callable, Mapping
 
 from ..tune.space import SearchSpace
 
-__all__ = ["AppSpec", "CheckCase", "register_app", "get_app", "available_apps"]
+__all__ = ["AppSpec", "CheckCase", "PerfCase", "register_app", "get_app", "available_apps"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,37 @@ class CheckCase:
     config: dict
     inputs: dict
     execute: Callable
+
+
+@dataclass(frozen=True)
+class PerfCase(CheckCase):
+    """A :class:`CheckCase` whose execution doubles as a measurement.
+
+    Built by :attr:`AppSpec.perf_case` for the measured-profiling subsystem
+    (:mod:`repro.perf`).  The executed problem is still small (the Python
+    substrates interpret it in milliseconds), but the case records how the
+    small run relates to the app's full-size problem so the measured
+    :class:`~repro.gpusim.KernelCost` can be extrapolated:
+
+    * ``scale`` — factor the extensive counters (bytes, flops, blocks) are
+      multiplied by to represent the full-size run.  Intensive per-block
+      properties — coalescing efficiency, bank-conflict degree, flops per
+      byte — are exactly what the measurement is for and survive scaling
+      unchanged.
+    * ``launches`` — kernel launches of the full-size run (launch overhead
+      is extensive in launches, not in blocks, so it scales separately).
+    * ``target_config`` — the configuration the app's *analytic* model is
+      evaluated at when computing the measured-vs-analytic disagreement
+      (default: the case's own configuration, i.e. no extrapolation).
+    * ``dtype`` / ``tensor_core`` — the arithmetic contract of the measured
+      kernel, forwarded into the cost.
+    """
+
+    scale: float = 1.0
+    launches: int = 1
+    target_config: dict | None = None
+    dtype: str = "fp32"
+    tensor_core: bool = False
 
 
 @dataclass(frozen=True)
@@ -82,6 +113,13 @@ class AppSpec:
     #: ``rng`` is a ``numpy.random.Generator`` — inputs must come from it so
     #: every check reproduces from its printed seed.
     check_case: Callable[[Mapping, object], "CheckCase | None"] | None = None
+    #: build a :class:`PerfCase` for one configuration:
+    #: ``perf_case(config, rng) -> PerfCase | None``.  Optional — the
+    #: measured profiler (:mod:`repro.perf`) falls back to ``check_case``
+    #: (measuring at the check size, no extrapolation) when absent.  Apps
+    #: whose full-size behaviour the tuner must rank under measurement
+    #: (LUD, NW, transpose) register one with the extrapolation scale set.
+    perf_case: Callable[[Mapping, object], "PerfCase | None"] | None = None
 
     def generate_config(self, config: Mapping) -> dict:
         """Project ``config`` onto the axes that determine the generated kernel."""

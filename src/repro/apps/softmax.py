@@ -49,8 +49,8 @@ def softmax_check_case(config, rng):
     m, n = 8, 16
     x = rng.standard_normal((m, n)).astype(np.float32)
 
-    def execute(kernel):
-        return run_softmax(kernel, x)
+    def execute(kernel, device=None):
+        return run_softmax(kernel, x, device=device)
 
     return CheckCase(
         config={"implementation": "lego", "M": m, "N": n},
@@ -76,7 +76,12 @@ def app_spec():
         name="softmax",
         backend="triton",
         space=space,
-        evaluate=lambda config: softmax_performance(SoftmaxConfig(M=n, N=n), config["implementation"]),
+        # sizes and device may be overridden (figure harnesses, measured profiler)
+        evaluate=lambda config, device=A100_80GB: softmax_performance(
+            SoftmaxConfig(M=config.get("M", n), N=config.get("N", n)),
+            config["implementation"],
+            device=device,
+        ),
         generate=lambda config: generate_softmax_kernel() if config["implementation"] == "lego" else None,
         generate_params=("implementation",),
         reference=lambda config, inputs: softmax_reference(inputs["x"]),
@@ -153,7 +158,8 @@ def softmax_reference(x: np.ndarray) -> np.ndarray:
     return e / e.sum(axis=1, keepdims=True)
 
 
-def run_softmax(kernel: TritonKernel, x: np.ndarray, sample_programs: int | None = None):
+def run_softmax(kernel: TritonKernel, x: np.ndarray, sample_programs: int | None = None,
+                device: DeviceSpec | None = None):
     """Execute the generated kernel on the mini-Triton interpreter."""
     m, n = x.shape
     x_buf = to_device(x.astype(np.float32).reshape(-1), "x")
@@ -164,6 +170,7 @@ def run_softmax(kernel: TritonKernel, x: np.ndarray, sample_programs: int | None
         grid=m,
         kernel_args={"x_ptr": x_buf, "y_ptr": y_buf, "M": m, "N": n, "BN": n},
         sample_programs=sample_programs,
+        sector_bytes=device.dram_sector_bytes if device is not None else 32,
     )
     return from_device(y_buf, (m, n)), trace
 

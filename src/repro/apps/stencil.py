@@ -69,8 +69,8 @@ def stencil_check_case(config, rng):
     layout_name = config.get("layout", "brick")
     layout = brick_layout(n, brick) if layout_name == "brick" else None
 
-    def execute(kernel):
-        return run_stencil(grid, spec, layout=layout, brick=brick)
+    def execute(kernel, device=None):
+        return run_stencil(grid, spec, layout=layout, brick=brick, device=device)
 
     return CheckCase(
         config={"stencil": spec.name, "layout": layout_name, "brick": brick, "n": n},
@@ -186,12 +186,14 @@ def run_stencil(
     spec: StencilSpec,
     layout: GroupBy | None = None,
     brick: int = 4,
+    device: DeviceSpec | None = None,
 ):
     """Run the stencil kernel on the mini-CUDA substrate with the given layout.
 
     Returns ``(output grid, trace)``; the output matches
     :func:`stencil_reference` regardless of the layout — only the physical
-    placement (and hence the traffic pattern) changes.
+    placement (and hence the traffic pattern) changes.  ``device`` sets the
+    warp width / sector granularity the trace records at.
     """
     n = grid.shape[0]
     src = GlobalArray(grid.astype(np.float32), layout=layout, name="src")
@@ -202,6 +204,7 @@ def run_stencil(
         grid=(blocks, blocks, blocks),
         block=(brick, brick, brick),
         args=(src, dst, n, spec, brick),
+        device=device,
     )
     return dst.to_numpy(), trace
 
@@ -289,9 +292,9 @@ def app_spec():
         Choice("stencil", tuple(by_name)),
     )
 
-    def evaluate(config):
+    def evaluate(config, device=A100_80GB):
         return stencil_performance(by_name[config["stencil"]], config.get("n", n),
-                                   config["layout"], config["brick"])
+                                   config["layout"], config["brick"], device=device)
 
     return register_app(AppSpec(
         name="stencil",

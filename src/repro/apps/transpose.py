@@ -25,6 +25,7 @@ __all__ = [
     "run_transpose",
     "transpose_check_reference",
     "transpose_check_case",
+    "transpose_perf_case",
     "transpose_time",
     "transpose_throughput",
     "transpose_table",
@@ -54,14 +55,40 @@ def transpose_check_case(config, rng):
     cfg = TransposeConfig(n=2 * tile, tile=tile)
     matrix = rng.standard_normal((cfg.n, cfg.n)).astype(np.float32)
 
-    def execute(kernel):
-        return run_transpose(kernel, matrix, cfg)
+    def execute(kernel, device=None):
+        return run_transpose(kernel, matrix, cfg, device=device)
 
     return CheckCase(
         config={"n": cfg.n, "tile": tile, "variant": config.get("variant", "smem"),
                 "skew": config.get("skew", 1), "generator": "lego"},
         inputs={"matrix": matrix},
         execute=execute,
+    )
+
+
+def transpose_perf_case(config, rng):
+    """The measured-profiling case: the check problem plus extrapolation.
+
+    Coalescing behaviour and bank conflicts are per-tile properties, so the
+    check-size execution (two tiles per side) measures them exactly; the
+    recorded cost extrapolates to the app's target problem by the ratio of
+    tile counts.  A transpose is a single kernel launch at any size.
+    """
+    from .registry import PerfCase
+
+    case = transpose_check_case(config, rng)
+    if case is None:
+        return None
+    target_n = config.get("n", 2048)
+    case_blocks = (case.config["n"] // case.config["tile"]) ** 2
+    target_blocks = (target_n // case.config["tile"]) ** 2
+    return PerfCase(
+        config=case.config,
+        inputs=case.inputs,
+        execute=case.execute,
+        scale=target_blocks / case_blocks,
+        launches=1,
+        target_config={**case.config, "n": target_n},
     )
 
 
@@ -90,8 +117,11 @@ def generate_transpose(config: TransposeConfig, variant: str = "smem",
 
 
 def run_transpose(kernel: MlirKernel, matrix: np.ndarray, config: TransposeConfig,
-                  sample_blocks: int | None = None):
-    """Interpret the generated MLIR kernel; returns ``(transposed, launch result)``."""
+                  sample_blocks: int | None = None, device: DeviceSpec | None = None):
+    """Interpret the generated MLIR kernel; returns ``(transposed, launch result)``.
+
+    ``device`` sets the warp width / sector granularity the trace records at.
+    """
     source = matrix.astype(np.float32).reshape(-1).copy()
     destination = np.zeros_like(source)
     result = run_gpu_kernel(
@@ -101,6 +131,7 @@ def run_transpose(kernel: MlirKernel, matrix: np.ndarray, config: TransposeConfi
         block=config.block(),
         arguments=[source, destination],
         sample_blocks=sample_blocks,
+        device=device,
     )
     return destination.reshape(config.n, config.n), result
 
@@ -197,9 +228,10 @@ def app_spec():
         constraint=lambda c: c["variant"] == "smem" or c["skew"] == 0,
     )
 
-    def evaluate(config):
+    def evaluate(config, device=A100_80GB):
         cfg = TransposeConfig(n=config.get("n", n), tile=config["tile"])
-        return transpose_time(cfg, config["variant"], config["generator"], skew=bool(config["skew"]))
+        return transpose_time(cfg, config["variant"], config["generator"],
+                              skew=bool(config["skew"]), device=device)
 
     def generate(config):
         if config["generator"] != "lego":
@@ -216,6 +248,7 @@ def app_spec():
         generate_params=("n", "tile", "variant", "skew", "generator"),
         reference=transpose_check_reference,
         check_case=transpose_check_case,
+        perf_case=transpose_perf_case,
         # the skew axis is not part of the asserted contract: at tiles where
         # the conflict term stays under the DRAM bound the two skews tie and
         # the op-count tie-break prefers the simpler row-major tile; the

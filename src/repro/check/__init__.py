@@ -33,7 +33,9 @@ from .runner import (
     check_app,
     check_kernel,
     differential_verifier,
+    resolve_case_kernel,
     run_check,
+    sample_configs,
     stable_seed,
     tolerance_for,
 )
@@ -45,6 +47,8 @@ __all__ = [
     "TOLERANCES",
     "tolerance_for",
     "stable_seed",
+    "sample_configs",
+    "resolve_case_kernel",
     "run_check",
     "check_kernel",
     "check_app",

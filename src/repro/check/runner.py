@@ -42,6 +42,8 @@ __all__ = [
     "TOLERANCES",
     "tolerance_for",
     "stable_seed",
+    "sample_configs",
+    "resolve_case_kernel",
     "run_check",
     "check_kernel",
     "check_app",
@@ -188,6 +190,57 @@ def _resolve(app) -> AppSpec:
     return app if isinstance(app, AppSpec) else get_app(app)
 
 
+def sample_configs(spec: AppSpec, samples: int, seed: int, label: str) -> list[dict]:
+    """``samples`` random valid configs, the paper-preferred one always included.
+
+    Random sampling alone could land every pick on evaluation-only baseline
+    rows (e.g. the eager-framework implementations), and a sweep that
+    executes zero kernels for an app verifies/measures nothing — so the
+    first-enumerated configuration (apps list paper-preferred values first)
+    is *prepended* when absent, never swapped in for a sampled config, so
+    the randomized coverage stays at ``samples``.  ``label`` keeps the
+    verification and profiling subsystems' draws independent under one seed.
+    """
+    configs = spec.space.sample(samples, random.Random(stable_seed(seed, spec.name, label)))
+    preferred = next(iter(spec.space), None)
+    if preferred is not None and preferred not in configs:
+        configs = [preferred, *configs]
+    return configs
+
+
+def resolve_case_kernel(spec: AppSpec, case, config: Mapping, *, kernel=None, service=None):
+    """Resolve the kernel a case executes with (shared with :mod:`repro.perf`).
+
+    ``kernel`` is an already-compiled candidate (the service's
+    first-compilation hook passes one); it is used directly when the case
+    preserves its kernel-determining axes and regenerated otherwise — e.g.
+    an MLIR module with the problem size baked into its memref types cannot
+    execute a downsized case.  Fresh generation goes through ``service``
+    when one is given (batching/dedup/caching), else inline through the
+    app's generator; MLIR kernels restored from a durable cache tier carry
+    only printed text, so a live twin is regenerated for the interpreter.
+    """
+    use = kernel
+    if use is not None and spec.generate_config(case.config) != spec.generate_config(dict(config)):
+        # the downsized case changed a kernel-determining axis: the supplied
+        # kernel cannot execute it, regenerate a twin at the case size
+        use = None
+    if use is None and spec.generate is not None:
+        if service is not None:
+            from ..serve import CompileRequest
+
+            use = service.compile(
+                CompileRequest(app=spec.name, config=spec.generate_config(case.config))
+            )
+        else:
+            use = spec.generate(case.config)
+    if use is not None and spec.backend == "mlir" and getattr(use, "module", None) is None:
+        # a kernel restored from the service's durable tier carries only its
+        # printed text — no live module the interpreter can execute
+        use = spec.generate(case.config) if spec.generate is not None else use
+    return use
+
+
 def _compare(report: CheckReport, actual, reference) -> CheckReport:
     actual = np.asarray(actual)
     reference = np.asarray(reference)
@@ -235,26 +288,7 @@ def _check(spec: AppSpec, config: Mapping, *, seed: int, kernel, service) -> Che
         return report
     report.check_config = dict(case.config)
     try:
-        use = kernel
-        if use is not None and spec.generate_config(case.config) != spec.generate_config(dict(config)):
-            # the downsized check changed a kernel-determining axis (e.g. an
-            # MLIR module with the problem size baked into its memref types):
-            # the supplied kernel cannot execute the case, regenerate a twin
-            use = None
-        if use is None and spec.generate is not None:
-            if service is not None:
-                from ..serve import CompileRequest
-
-                use = service.compile(
-                    CompileRequest(app=spec.name, config=spec.generate_config(case.config))
-                )
-            else:
-                use = spec.generate(case.config)
-        if use is not None and spec.backend == "mlir" and getattr(use, "module", None) is None:
-            # a kernel restored from the service's durable tier carries only
-            # its printed text — no live module the interpreter can execute —
-            # so check a freshly generated twin of the same configuration
-            use = spec.generate(case.config) if spec.generate is not None else use
+        use = resolve_case_kernel(spec, case, config, kernel=kernel, service=service)
         if use is not None:
             report.kernel = getattr(use, "name", "") or ""
         output, trace = case.execute(use)
@@ -297,20 +331,10 @@ def check_kernel(app, config: Mapping, kernel, *, seed: int = 0) -> CheckReport:
 
 
 def check_app(app, samples: int = 3, *, seed: int = 0, service=None) -> list[CheckReport]:
-    """Check ``samples`` randomly drawn valid configurations of one app.
-
-    The first-enumerated configuration (apps list paper-preferred values
-    first) is always part of the draw: random sampling alone could land
-    every pick on evaluation-only baseline rows (e.g. the eager-framework
-    implementations), and a sweep that executes zero kernels for an app
-    verifies nothing.  It is *prepended* when absent — never swapped in for
-    a sampled config — so the randomized coverage stays at ``samples``.
-    """
+    """Check ``samples`` randomly drawn valid configurations of one app
+    (:func:`sample_configs` keeps the paper-preferred one in the draw)."""
     spec = _resolve(app)
-    configs = spec.space.sample(samples, random.Random(stable_seed(seed, spec.name, "configs")))
-    preferred = next(iter(spec.space), None)
-    if preferred is not None and preferred not in configs:
-        configs = [preferred, *configs]
+    configs = sample_configs(spec, samples, seed, "configs")
     return [_check(spec, config, seed=seed, kernel=None, service=service) for config in configs]
 
 

@@ -49,12 +49,18 @@ class DeviceSpec:
     max_threads_per_sm: int
     #: warp size
     warp_size: int
+    #: maximum resident thread blocks per SM (hardware scheduler limit)
+    max_blocks_per_sm: int
     #: kernel launch overhead in microseconds
     launch_overhead_us: float
     #: DRAM access granularity (sector) in bytes
     dram_sector_bytes: int = 32
     #: cache line size in bytes
     cache_line_bytes: int = 128
+    #: CUDA's static ``__shared__`` allocation limit per block: kernels
+    #: declaring more than this fail to launch regardless of the SM's
+    #: physical capacity (opting into more requires dynamic shared memory)
+    max_static_smem_bytes: int = 48 * 1024
 
     @property
     def smem_bandwidth_gbs(self) -> float:
@@ -91,6 +97,7 @@ A100_80GB = DeviceSpec(
     int32_gops=19_500.0,
     max_threads_per_sm=2048,
     warp_size=32,
+    max_blocks_per_sm=32,
     launch_overhead_us=5.0,
 )
 

@@ -118,22 +118,31 @@ class TimeBreakdown:
 def occupancy_factor(cost: KernelCost, device: DeviceSpec) -> float:
     """How well the launch fills the machine (0..1].
 
-    Two effects: (1) too few thread blocks to occupy every SM (tail effect /
-    low block-level parallelism, the LUD lever), and (2) shared-memory usage
-    limiting resident blocks per SM.  Both are intentionally coarse.
+    Three effects: (1) too few thread blocks to occupy every SM (tail
+    effect / low block-level parallelism, the LUD lever), (2) shared-memory
+    usage limiting resident blocks per SM, and (3) too few resident *warps*
+    to hide latency — an SM with plenty of resident blocks still stalls
+    when those blocks are narrow (a 64-thread block contributes only two
+    warps), which is what separates coarsening factors that share every
+    other resource.  All intentionally coarse.
     """
     if cost.blocks <= 0:
         return 1.0
     # blocks needed to give every SM at least one resident block
     wave = min(1.0, cost.blocks / device.num_sms)
-    # resident-thread limit
+    # resident-thread limit, capped by the hardware's max resident blocks per
+    # SM: without the cap a tiny block (32 threads on A100) would report
+    # 2048/32 = 64 resident blocks when the scheduler stops at 32
     if cost.threads_per_block > 0:
         resident_blocks = max(1, int(device.max_threads_per_sm // max(cost.threads_per_block, 1)))
+        resident_blocks = min(resident_blocks, device.max_blocks_per_sm)
         if cost.smem_per_block > 0:
             smem_blocks = max(1, int(device.smem_per_sm_bytes // max(cost.smem_per_block, 1)))
             resident_blocks = min(resident_blocks, smem_blocks)
-        # fewer than 4 resident blocks per SM limits latency hiding
-        latency_hiding = min(1.0, resident_blocks / 4.0)
+        # fewer than 4 resident blocks — or fewer than 16 resident warps —
+        # per SM limits latency hiding
+        resident_warps = resident_blocks * cost.threads_per_block / device.warp_size
+        latency_hiding = min(1.0, resident_blocks / 4.0, resident_warps / 16.0)
     else:
         latency_hiding = 1.0
     # combine; never return 0

@@ -74,7 +74,12 @@ class CudaTrace:
     threads_per_block: int = 0
     executed_blocks: int = 0
     smem_per_block: int = 0
+    #: DRAM sector granularity (bytes) the transaction counters were
+    #: recorded at (see :class:`GlobalArray`); the trace->cost adapter
+    #: charges moved bytes at the same size
+    sector_bytes: int = 32
     scale: float = 1.0
+    extras: dict = field(default_factory=dict)
 
     @property
     def dram_bytes(self) -> float:
@@ -113,9 +118,11 @@ class CudaTrace:
             threads_per_block=self.threads_per_block,
             executed_blocks=self.executed_blocks,
             smem_per_block=self.smem_per_block,
+            sector_bytes=self.sector_bytes,
             scale=1.0,
         )
         out.smem_profile = self.smem_profile
+        out.extras = dict(self.extras)
         return out
 
 
@@ -127,11 +134,25 @@ class BlockContext:
     id used to group threads into warps for conflict/coalescing accounting.
     """
 
-    def __init__(self, block_idx: Dim3, block_dim: Dim3, grid_dim: Dim3, trace: CudaTrace | None):
+    def __init__(
+        self,
+        block_idx: Dim3,
+        block_dim: Dim3,
+        grid_dim: Dim3,
+        trace: CudaTrace | None,
+        warp_size: int = 32,
+        sector_bytes: int | None = None,
+    ):
         self.blockIdx = block_idx
         self.blockDim = block_dim
         self.gridDim = grid_dim
         self.trace = trace
+        #: warp width accesses are grouped by for conflict/coalescing
+        #: accounting; the launcher sets it from the target device
+        self.warp_size = warp_size
+        #: DRAM sector granularity for transaction counting (``None``: each
+        #: :class:`~repro.minicuda.GlobalArray` falls back to its own)
+        self.sector_bytes = sector_bytes
         count = block_dim.count
         linear = np.arange(count, dtype=np.int64)
         self.thread_linear = linear
@@ -170,9 +191,10 @@ class BlockContext:
 
     # -- warp helpers ---------------------------------------------------------------
 
-    def iter_warps(self, active: np.ndarray | None = None, warp_size: int = 32):
+    def iter_warps(self, active: np.ndarray | None = None, warp_size: int | None = None):
         """Yield per-warp boolean masks over the block's threads."""
         count = self.num_threads
+        warp_size = warp_size or self.warp_size
         for start in range(0, count, warp_size):
             mask = np.zeros(count, dtype=bool)
             mask[start : start + warp_size] = True
@@ -189,6 +211,7 @@ def launch(
     args: Sequence = (),
     trace: bool = True,
     sample_blocks: int | None = None,
+    device=None,
 ) -> CudaTrace:
     """Run ``kernel`` over ``grid`` x ``block`` threads.
 
@@ -196,11 +219,16 @@ def launch(
     With ``sample_blocks=N`` only ``N`` evenly spaced blocks execute and the
     returned trace is scaled to the full grid (use sampling for performance
     estimation only — results written to global arrays are then partial).
+    ``device`` (a :class:`~repro.gpusim.DeviceSpec`) sets the warp width and
+    DRAM sector granularity the accounting uses instead of the CUDA-default
+    32/32.
     """
     grid = Dim3.of(grid)
     block = Dim3.of(block)
     total_blocks = grid.count
-    run_trace = CudaTrace() if trace else None
+    warp_size = device.warp_size if device is not None else 32
+    sector_bytes = device.dram_sector_bytes if device is not None else None
+    run_trace = CudaTrace(sector_bytes=sector_bytes or 32) if trace else None
 
     if sample_blocks is None or sample_blocks >= total_blocks:
         block_ids = range(total_blocks)
@@ -217,7 +245,10 @@ def launch(
         bx = flat % grid.x
         by = (flat // grid.x) % grid.y
         bz = flat // (grid.x * grid.y)
-        ctx = BlockContext(Dim3(bx, by, bz), block, grid, run_trace)
+        ctx = BlockContext(
+            Dim3(bx, by, bz), block, grid, run_trace,
+            warp_size=warp_size, sector_bytes=sector_bytes,
+        )
         kernel(ctx, *args)
         max_smem = max(max_smem, ctx.smem_bytes_allocated())
 

@@ -97,7 +97,7 @@ class SharedArray:
         else:
             trace.smem_load_bytes += nbytes
         # Score bank conflicts warp by warp over the block's thread order.
-        warp_size = 32
+        warp_size = getattr(ctx, "warp_size", 32)
         for start in range(0, flat.size, warp_size):
             lane_indices = flat[start : start + warp_size]
             degree = warp_conflict_degree(lane_indices, element_bytes=self.dtype.itemsize)
@@ -192,12 +192,15 @@ class GlobalArray:
         flat = physical.reshape(-1)
         element_bytes = self.dtype.itemsize
         count = float(flat.size)
-        # count sector transactions warp by warp
+        # count sector transactions warp by warp; warp width and sector
+        # granularity come from the launch context (i.e. the DeviceSpec)
+        # when it provides them, so recording matches the device model
         transactions = 0
-        warp_size = 32
+        warp_size = getattr(ctx, "warp_size", 32)
+        sector_bytes = getattr(ctx, "sector_bytes", None) or self.sector_bytes
         byte_addresses = flat * element_bytes
         for start in range(0, flat.size, warp_size):
-            sectors = np.unique(byte_addresses[start : start + warp_size] // self.sector_bytes)
+            sectors = np.unique(byte_addresses[start : start + warp_size] // sector_bytes)
             transactions += int(sectors.size)
         if is_store:
             trace.store_elements += count

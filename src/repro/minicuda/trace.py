@@ -1,7 +1,17 @@
-"""Convert mini-CUDA launch traces into analytic kernel costs."""
+"""Convert mini-CUDA launch traces into analytic kernel costs.
+
+Kept as the substrate-local spelling of the unified trace->cost adapter
+protocol (:mod:`repro.perf.adapters`), which owns the implementation: DRAM
+bytes are charged from the *transaction* counts (sectors actually moved at
+the granularity the trace was recorded at — taken from the
+:class:`~repro.gpusim.DeviceSpec`, never a hardcoded 32), so poorly
+coalesced kernels are charged for the full sectors they touch; shared-memory
+traffic carries the measured average bank-conflict serialisation factor.
+"""
 
 from __future__ import annotations
 
+from ..gpusim.device import A100_80GB, DeviceSpec
 from ..gpusim.kernelmodel import KernelCost
 from .runtime import CudaTrace
 
@@ -15,31 +25,24 @@ def trace_to_cost(
     tensor_core: bool = False,
     compute_efficiency: float = 0.85,
     dram_efficiency: float = 0.85,
-    launches: int = 1,
+    launches: int | None = None,
+    device: DeviceSpec = A100_80GB,
 ) -> KernelCost:
     """Summarise a :class:`CudaTrace` as a :class:`KernelCost`.
 
-    DRAM bytes are taken from the *transaction* counts (sectors actually
-    moved), not the useful element counts, so poorly coalesced kernels are
-    charged for the full sectors they touch; shared-memory traffic carries the
-    measured average bank-conflict serialisation factor.
+    Thin wrapper over :func:`repro.perf.adapters.cuda_trace_to_cost` with
+    the historical argument order preserved.  ``launches`` defaults to the
+    trace's own record (``extras['launches']`` on merged multi-launch
+    traces, else 1), exactly like the unified adapter.
     """
-    sector_bytes = 32.0
-    moved_bytes = (trace.load_transactions + trace.store_transactions) * sector_bytes
-    useful_bytes = trace.load_bytes + trace.store_bytes
-    dram_bytes = max(moved_bytes, useful_bytes)
-    return KernelCost(
+    from ..perf.adapters import cuda_trace_to_cost
+
+    return cuda_trace_to_cost(
+        trace,
+        device,
         name=name,
-        flops=trace.flops,
         dtype=dtype,
         tensor_core=tensor_core,
-        dram_bytes=dram_bytes,
-        smem_bytes=trace.smem_bytes,
-        bank_conflict_factor=trace.bank_conflict_factor,
-        threads=float(trace.blocks * trace.threads_per_block),
-        blocks=float(trace.blocks),
-        threads_per_block=float(trace.threads_per_block),
-        smem_per_block=float(trace.smem_per_block),
         compute_efficiency=compute_efficiency,
         dram_efficiency=dram_efficiency,
         launches=launches,

@@ -114,6 +114,10 @@ class KernelTrace:
     flops: float = 0.0
     tensor_core_flops: float = 0.0
     programs: int = 0
+    #: DRAM sector granularity (bytes) the transaction counters were
+    #: recorded at — the trace->cost adapter charges moved bytes at the same
+    #: size, so recording and costing can never disagree
+    sector_bytes: int = 32
     #: multiplier applied when only a sample of programs was executed
     scale: float = 1.0
     #: the launch executed only a sample of the grid, so device-buffer
@@ -135,6 +139,7 @@ class KernelTrace:
             flops=self.flops * self.scale,
             tensor_core_flops=self.tensor_core_flops * self.scale,
             programs=int(self.programs * self.scale),
+            sector_bytes=self.sector_bytes,
             scale=1.0,
             sampled=self.sampled,
         )
@@ -153,6 +158,9 @@ class _State:
         self.program_ids: tuple[int, int, int] = (0, 0, 0)
         self.grid: tuple[int, int, int] = (1, 1, 1)
         self.trace: KernelTrace | None = None
+        #: DRAM sector granularity transactions are counted at; the launcher
+        #: sets it from the target :class:`~repro.gpusim.DeviceSpec`
+        self.sector_bytes: int = 32
 
 
 _state = _State()
@@ -257,7 +265,7 @@ def _record_access(offsets: np.ndarray, element_bytes: int, is_store: bool) -> N
         return
     count = float(offsets.size)
     byte_addresses = offsets.reshape(-1) * element_bytes
-    sectors = np.unique(byte_addresses // 32)
+    sectors = np.unique(byte_addresses // _state.sector_bytes)
     transactions = float(sectors.size)
     if is_store:
         trace.store_elements += count

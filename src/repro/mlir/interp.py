@@ -24,7 +24,9 @@ from .types import MemRefType
 
 __all__ = ["GpuLaunchResult", "run_gpu_kernel"]
 
+#: CUDA defaults, used when no DeviceSpec is supplied to the launcher
 _WARP = 32
+_SECTOR_BYTES = 32
 
 
 @dataclass
@@ -44,6 +46,9 @@ class GpuLaunchResult:
     threads_per_block: int = 0
     executed_blocks: int = 0
     smem_per_block: int = 0
+    #: DRAM sector granularity (bytes) the transaction counters were
+    #: recorded at; moved-byte accounting uses the same size
+    sector_bytes: int = _SECTOR_BYTES
     scale: float = 1.0
 
     @property
@@ -52,7 +57,7 @@ class GpuLaunchResult:
 
     @property
     def moved_dram_bytes(self) -> float:
-        return (self.load_transactions + self.store_transactions) * 32.0
+        return (self.load_transactions + self.store_transactions) * float(self.sector_bytes)
 
     @property
     def bank_conflict_factor(self) -> float:
@@ -77,6 +82,7 @@ class GpuLaunchResult:
             threads_per_block=self.threads_per_block,
             executed_blocks=self.executed_blocks,
             smem_per_block=self.smem_per_block,
+            sector_bytes=self.sector_bytes,
             scale=1.0,
         )
         out.smem_profile = self.smem_profile
@@ -93,10 +99,14 @@ class _BlockExecutor:
         grid_dim: tuple[int, int, int],
         memrefs: Mapping[int, np.ndarray],
         result: GpuLaunchResult,
+        warp_size: int = _WARP,
+        sector_bytes: int = _SECTOR_BYTES,
     ):
         self.block_idx = block_idx
         self.block_dim = block_dim
         self.grid_dim = grid_dim
+        self.warp_size = warp_size
+        self.sector_bytes = sector_bytes
         self.memrefs = dict(memrefs)  # id(Value) -> flat numpy buffer
         self.memref_types: dict[int, MemRefType] = {}
         self.shared_allocated = 0
@@ -238,9 +248,10 @@ class _BlockExecutor:
         flat = offsets.reshape(-1)
         count = float(flat.size)
         transactions = 0
+        warp, sector = self.warp_size, self.sector_bytes
         byte_addresses = flat * element_bytes
-        for start in range(0, flat.size, _WARP):
-            transactions += int(np.unique(byte_addresses[start : start + _WARP] // 32).size)
+        for start in range(0, flat.size, warp):
+            transactions += int(np.unique(byte_addresses[start : start + warp] // sector).size)
         if is_store:
             self.result.store_elements += count
             self.result.store_bytes += count * element_bytes
@@ -252,9 +263,10 @@ class _BlockExecutor:
 
     def _record_shared(self, offsets: np.ndarray, element_bytes: int) -> None:
         flat = offsets.reshape(-1)
+        warp = self.warp_size
         self.result.smem_bytes += float(flat.size) * element_bytes
-        for start in range(0, flat.size, _WARP):
-            degree = warp_conflict_degree(flat[start : start + _WARP], element_bytes=element_bytes)
+        for start in range(0, flat.size, warp):
+            degree = warp_conflict_degree(flat[start : start + warp], element_bytes=element_bytes)
             self.result.smem_profile.record(degree)
 
     def _load(self, op: Operation) -> None:
@@ -304,6 +316,7 @@ def run_gpu_kernel(
     block: tuple[int, int, int],
     arguments: Sequence[np.ndarray],
     sample_blocks: int | None = None,
+    device=None,
 ) -> GpuLaunchResult:
     """Interpret ``kernel_name`` from ``module`` over a launch grid.
 
@@ -311,6 +324,9 @@ def run_gpu_kernel(
     arguments; they are mutated in place by ``memref.store``.  With
     ``sample_blocks`` only a subset of blocks executes and counters are
     scaled (results are then partial — use for performance tracing only).
+    ``device`` (a :class:`~repro.gpusim.DeviceSpec`) supplies the warp width
+    and DRAM sector granularity the traffic accounting uses instead of the
+    CUDA-default 32/32.
     """
     fn = module.get_function(kernel_name)
     if fn.kind != "gpu.func":
@@ -331,7 +347,9 @@ def run_gpu_kernel(
                 )
             flat_buffers[id(value)] = flat
 
-    result = GpuLaunchResult()
+    warp_size = device.warp_size if device is not None else _WARP
+    sector_bytes = device.dram_sector_bytes if device is not None else _SECTOR_BYTES
+    result = GpuLaunchResult(sector_bytes=sector_bytes)
     grid = tuple(int(g) for g in grid)
     block = tuple(int(b) for b in block)
     total_blocks = grid[0] * grid[1] * grid[2]
@@ -349,7 +367,10 @@ def run_gpu_kernel(
         bx = flat % grid[0]
         by = (flat // grid[0]) % grid[1]
         bz = flat // (grid[0] * grid[1])
-        executor = _BlockExecutor((bx, by, bz), block, grid, flat_buffers, result)
+        executor = _BlockExecutor(
+            (bx, by, bz), block, grid, flat_buffers, result,
+            warp_size=warp_size, sector_bytes=sector_bytes,
+        )
         for value, array in zip(fn.arguments, arguments):
             if isinstance(value.type, MemRefType):
                 executor.set(value, value)

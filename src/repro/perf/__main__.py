@@ -1,0 +1,133 @@
+"""``python -m repro.perf`` — the measured-profiling sweep.
+
+Draws randomized valid configurations from every app's search space (the
+paper-preferred configuration always included), executes each kernel's perf
+case on its substrate, converts the trace into a measured
+:class:`~repro.gpusim.KernelCost` and compares the device-model time
+against the app's analytic estimate::
+
+    PYTHONPATH=src python -m repro.perf --apps all --samples 3 --seed 0
+
+Writes a JSON artifact (default ``BENCH_perf.json``) with per-app measured
+vs analytic times, bound resources, coalescing efficiencies and
+bank-conflict factors — the seed of the performance trajectory, uploaded by
+the ``perf-smoke`` CI job.  The sweep fails (exit 1) when any measured vs
+analytic disagreement exceeds ``--max-error``: a model whose analytic and
+measured answers differ by an order of magnitude is broken on one side or
+the other, and the tripwire catches it before the tuner trusts either.
+The CI job pins ``--max-error 10`` on its app subset; the all-apps default
+is 20 because the cache-less substrates honestly over-charge the widest
+cube stencil's neighbour reuse under the row-major layout (every one of
+its 125 passes is billed as DRAM traffic where real hardware's L2 absorbs
+them — see DESIGN.md, "Measured profiling").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..apps.registry import available_apps
+from .profile import profile_all
+
+__all__ = ["main", "run_sweep"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Measure generated kernels on their substrates and compare to the analytic model.",
+    )
+    parser.add_argument("--apps", default="all",
+                        help="comma-separated app names, or 'all' (default)")
+    parser.add_argument("--samples", type=int, default=3,
+                        help="randomly sampled configurations per app (default: 3)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed; every config draw and input buffer derives from it (default: 0)")
+    parser.add_argument("--max-error", type=float, default=20.0, dest="max_error",
+                        help="fail when measured vs analytic disagree by more than this factor (default: 20)")
+    parser.add_argument("--json", default="BENCH_perf.json", metavar="PATH", dest="json_path",
+                        help="write the report here (default: BENCH_perf.json; '-' disables)")
+    return parser
+
+
+def run_sweep(args: argparse.Namespace) -> dict:
+    apps = available_apps() if args.apps == "all" else [a.strip() for a in args.apps.split(",") if a.strip()]
+    results = profile_all(apps, samples=args.samples, seed=args.seed)
+    report: dict = {
+        "seed": args.seed,
+        "samples": args.samples,
+        "max_error": args.max_error,
+        "apps": {},
+        "failures": [],
+    }
+    measured = failed = skipped = 0
+    worst = 1.0
+    for name, profiles in results.items():
+        rows = [p.as_dict() for p in profiles]
+        good = [p for p in profiles if p.ok]
+        bad = [p for p in profiles if p.status == "failed"]
+        app_worst = max((p.analytic_error for p in good), default=1.0)
+        report["apps"][name] = {
+            "configs": len(profiles),
+            "measured": len(good),
+            "failed": len(bad),
+            "skipped": sum(1 for p in profiles if p.skipped),
+            "max_analytic_error": app_worst,
+            "rows": rows,
+        }
+        report["failures"].extend(p.as_dict() for p in bad)
+        measured += len(good)
+        failed += len(bad)
+        skipped += sum(1 for p in profiles if p.skipped)
+        worst = max(worst, app_worst)
+    report["measured"] = measured
+    report["failed"] = failed
+    report["skipped"] = skipped
+    report["max_analytic_error"] = worst
+    # the sweep is healthy when nothing errored, every app measured at least
+    # one kernel, and no measured/analytic pair tripped the sanity bound
+    report["ok"] = (
+        failed == 0
+        and worst <= args.max_error
+        and all(row["measured"] > 0 for row in report["apps"].values())
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> dict:
+    args = _build_parser().parse_args(argv)
+    report = run_sweep(args)
+    for name, row in report["apps"].items():
+        print(
+            f"{name:>14}: {row['measured']}/{row['configs']} measured"
+            f" ({row['skipped']} skipped, {row['failed']} failed)"
+            f"  worst analytic error {row['max_analytic_error']:.2f}x"
+        )
+        for entry in row["rows"]:
+            if entry["status"] != "measured":
+                continue
+            print(
+                f"{'':>16}{entry['config']}: measured={entry['measured_ms']:.4g}ms "
+                f"analytic={entry['analytic_ms']:.4g}ms error={entry['analytic_error']:.2f}x "
+                f"bound={entry['bound']} "
+                f"coalescing={entry['metrics']['coalescing_efficiency']:.2f} "
+                f"conflicts={entry['metrics']['bank_conflict_factor']:.2f}"
+            )
+    for failure in report["failures"]:
+        print(f"FAILED {failure['app']} {failure['config']}: {failure['reason']} "
+              f"(seed={failure['seed']})")
+    print(
+        f"seed={report['seed']} measured={report['measured']} skipped={report['skipped']} "
+        f"failed={report['failed']} max_error={report['max_analytic_error']:.2f}x "
+        f"ok={report['ok']}"
+    )
+    if args.json_path and args.json_path != "-":
+        Path(args.json_path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    sys.exit(0 if main()["ok"] else 1)

@@ -1,0 +1,278 @@
+"""Measured profiling: execute a kernel on its substrate, return its cost.
+
+:func:`profile` is to performance what :func:`repro.check.run_check` is to
+correctness — and it deliberately reuses the same machinery: the app's
+case builder (:attr:`~repro.apps.registry.AppSpec.perf_case`, falling back
+to ``check_case``) produces a small full-launch problem, the kernel is
+resolved through :func:`repro.check.resolve_case_kernel` (so a
+:class:`~repro.serve.CompileService` provides batching/dedup/caching when
+one is passed), the case executes on the matching substrate, and the
+recorded trace becomes a measured :class:`~repro.gpusim.KernelCost`
+through the unified adapter protocol (:mod:`repro.perf.adapters`).
+
+Two time figures come out of every profile:
+
+* the **measured** :class:`~repro.gpusim.TimeBreakdown` of the case as
+  executed, and
+* the **extrapolated** breakdown at the app's full-size problem, obtained
+  by scaling the cost's extensive counters (:meth:`KernelCost.scaled`) by
+  the case's declared ``scale`` while the *intensive* measurements — the
+  coalescing efficiency baked into the moved bytes, the bank-conflict
+  factor, flops per byte — ride along unchanged.  This is what the
+  two-stage tuner ranks by.
+
+Each profile also records the **analytic** estimate of the same problem
+(``AppSpec.evaluate`` at the case's target configuration) and the
+disagreement ratio between the two, which is the model-sanity signal the
+``perf-smoke`` CI tripwire watches.
+
+Everything derives from ``(seed, app, config)`` through the same SHA-256
+path as the verification subsystem, so a profile reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..apps.registry import AppSpec, PerfCase, available_apps, get_app
+from ..check.runner import resolve_case_kernel, sample_configs, stable_seed
+from ..gpusim import A100_80GB, DeviceSpec, KernelCost, TimeBreakdown, estimate_time
+from .adapters import trace_metrics, trace_to_cost
+
+__all__ = ["KernelProfile", "profile", "profile_app", "profile_all"]
+
+
+def _accepts_device(fn: Callable) -> bool:
+    """Does this case builder / execute callable take a ``device`` kwarg?
+
+    Case builders and executes are plain callables registered long before a
+    device is chosen, so the device is threaded through as an *optional*
+    keyword: callables that declare it record their traces at the device's
+    warp width / sector granularity, older ones keep the CUDA defaults.
+    """
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    return "device" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+@dataclass
+class KernelProfile:
+    """The structured outcome of one measured profile."""
+
+    app: str
+    backend: str = ""
+    #: the configuration the profile was asked about (as sampled/submitted)
+    config: dict = field(default_factory=dict)
+    #: the resolved small full-launch configuration actually executed
+    case_config: dict = field(default_factory=dict)
+    #: the full-size configuration the analytic model was evaluated at
+    target_config: dict = field(default_factory=dict)
+    status: str = "skipped"  # "measured" | "failed" | "skipped"
+    reason: str = ""
+    seed: int = 0
+    kernel: str = ""
+    #: measured cost of the case as executed (extensive counters at case size)
+    measured_cost: KernelCost | None = None
+    #: device-model breakdown of the case as executed
+    measured: TimeBreakdown | None = None
+    #: breakdown extrapolated to the full-size problem (what the tuner ranks by)
+    extrapolated: TimeBreakdown | None = None
+    #: the app's analytic estimate at ``target_config`` (seconds)
+    analytic_seconds: float = 0.0
+    #: ``max(measured, analytic) / min(measured, analytic)`` (>= 1)
+    analytic_error: float = 1.0
+    #: extrapolation bookkeeping (see :class:`~repro.apps.registry.PerfCase`)
+    scale: float = 1.0
+    launches: int = 1
+    #: measured memory behaviour (coalescing efficiency, conflict factor, ...)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def measured_seconds(self) -> float:
+        """The extrapolated full-size measured time (0.0 when not measured)."""
+        return self.extrapolated.total if self.extrapolated is not None else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "measured"
+
+    @property
+    def skipped(self) -> bool:
+        return self.status == "skipped"
+
+    def as_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "backend": self.backend,
+            "config": dict(self.config),
+            "case_config": dict(self.case_config),
+            "target_config": dict(self.target_config),
+            "status": self.status,
+            "reason": self.reason,
+            "seed": self.seed,
+            "kernel": self.kernel,
+            "measured": self.measured.as_dict() if self.measured is not None else None,
+            "extrapolated": self.extrapolated.as_dict() if self.extrapolated is not None else None,
+            "measured_ms": self.measured_seconds * 1e3,
+            "analytic_ms": self.analytic_seconds * 1e3,
+            "analytic_error": self.analytic_error,
+            "bound": self.extrapolated.bound if self.extrapolated is not None else "",
+            "scale": self.scale,
+            "launches": self.launches,
+            "metrics": dict(self.metrics),
+        }
+
+    def summary(self) -> str:
+        """One log line: measured vs analytic and the reproducing seed."""
+        if self.status != "measured":
+            return f"{self.app} {self.config}: {self.status} ({self.reason})"
+        return (
+            f"{self.app} {self.config}: measured={self.measured_seconds * 1e3:.4g}ms "
+            f"analytic={self.analytic_seconds * 1e3:.4g}ms "
+            f"error={self.analytic_error:.2f}x bound={self.extrapolated.bound} "
+            f"seed={self.seed}"
+        )
+
+
+def _resolve(app) -> AppSpec:
+    return app if isinstance(app, AppSpec) else get_app(app)
+
+
+def _analytic_seconds(spec: AppSpec, config: Mapping, device: DeviceSpec) -> float:
+    """The app's analytic estimate (``evaluate`` may return seconds or a dict).
+
+    The device is forwarded when the app's ``evaluate`` accepts it, so the
+    measured-vs-analytic disagreement compares two models of the *same*
+    device rather than the caller's device against the default A100.
+    """
+    if _accepts_device(spec.evaluate):
+        result = spec.evaluate(dict(config), device=device)
+    else:
+        result = spec.evaluate(dict(config))
+    if isinstance(result, Mapping):
+        return float(result["time_seconds"])
+    return float(result)
+
+
+def profile(
+    app,
+    config: Mapping,
+    *,
+    device: DeviceSpec = A100_80GB,
+    seed: int = 0,
+    service=None,
+) -> KernelProfile:
+    """Measure one ``(app, config)`` pair end to end.
+
+    Builds the app's perf case (falling back to its check case), resolves
+    the kernel (through ``service`` when given), executes on the matching
+    substrate and converts the trace into a measured cost + breakdown.
+    Never raises on a substrate or model failure — the outcome is the
+    returned :class:`KernelProfile`.
+    """
+    spec = _resolve(app)
+    report = KernelProfile(app=spec.name, backend=spec.backend, config=dict(config), seed=seed)
+    builder = spec.perf_case or spec.check_case
+    if builder is None:
+        report.reason = "app registers neither perf_case nor check_case"
+        return report
+    rng = np.random.default_rng(
+        stable_seed(seed, "perf", spec.name, {k: config[k] for k in sorted(config)})
+    )
+    try:
+        if _accepts_device(builder):
+            case = builder(dict(config), rng, device=device)
+        else:
+            case = builder(dict(config), rng)
+    except Exception as exc:
+        report.status = "failed"
+        report.reason = f"case builder raised {type(exc).__name__}: {exc}"
+        return report
+    if case is None:
+        report.reason = "configuration selects no executable kernel"
+        return report
+    report.case_config = dict(case.config)
+    scale = float(getattr(case, "scale", 1.0))
+    launches = int(getattr(case, "launches", 1))
+    target_config = getattr(case, "target_config", None) or dict(case.config)
+    report.target_config = dict(target_config)
+    report.scale, report.launches = scale, launches
+    dtype = getattr(case, "dtype", "fp32")
+    tensor_core = getattr(case, "tensor_core", False)
+    try:
+        kernel = resolve_case_kernel(spec, case, config, service=service)
+        if kernel is not None:
+            report.kernel = getattr(kernel, "name", "") or ""
+        if _accepts_device(case.execute):
+            _, trace = case.execute(kernel, device=device)
+        else:
+            _, trace = case.execute(kernel)
+        if trace is None:
+            report.reason = "substrate records no trace for this app"
+            return report
+        adapter_args: dict = {"name": report.kernel or spec.name}
+        if isinstance(case, PerfCase):
+            adapter_args.update(dtype=dtype, tensor_core=tensor_core)
+        cost = trace_to_cost(trace, device, **adapter_args)
+        report.measured_cost = cost
+        report.measured = estimate_time(cost, device)
+        full_cost = replace(cost.scaled(scale), launches=launches)
+        report.extrapolated = estimate_time(full_cost, device)
+        report.metrics = trace_metrics(trace, device)
+        report.analytic_seconds = _analytic_seconds(spec, target_config, device)
+    except Exception as exc:
+        report.status = "failed"
+        report.reason = f"{type(exc).__name__}: {exc}"
+        return report
+    measured = report.extrapolated.total
+    if measured > 0 and report.analytic_seconds > 0:
+        high, low = max(measured, report.analytic_seconds), min(measured, report.analytic_seconds)
+        report.analytic_error = high / low
+    report.status = "measured"
+    return report
+
+
+def profile_app(
+    app,
+    samples: int = 3,
+    *,
+    device: DeviceSpec = A100_80GB,
+    seed: int = 0,
+    service=None,
+) -> list[KernelProfile]:
+    """Profile ``samples`` randomly drawn valid configurations of one app.
+
+    As for :func:`repro.check.check_app`, the first-enumerated (paper
+    -preferred) configuration is prepended when the draw misses it, so a
+    sweep can never measure zero kernels for an app whose baseline rows
+    happen to dominate the sample.
+    """
+    spec = _resolve(app)
+    configs = sample_configs(spec, samples, seed, "perf-configs")
+    return [
+        profile(spec, config, device=device, seed=seed, service=service) for config in configs
+    ]
+
+
+def profile_all(
+    apps: Sequence[str] | None = None,
+    samples: int = 3,
+    *,
+    device: DeviceSpec = A100_80GB,
+    seed: int = 0,
+    service=None,
+) -> dict[str, list[KernelProfile]]:
+    """Sweep apps x sampled configs; profiles grouped by app name."""
+    names = list(apps) if apps else available_apps()
+    return {
+        name: profile_app(name, samples, device=device, seed=seed, service=service)
+        for name in names
+    }

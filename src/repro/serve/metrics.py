@@ -10,6 +10,7 @@ mid-traffic snapshot can and cannot tear).
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -47,10 +48,18 @@ class LatencyRecorder:
 
     @staticmethod
     def _percentile(ordered: list[float], q: float) -> float:
-        """Nearest-rank percentile over an ascending-sorted sample list."""
+        """Nearest-rank percentile over an ascending-sorted sample list.
+
+        Uses the ceil-based nearest-rank definition: the q-quantile of n
+        samples is the ``ceil(q * n)``-th smallest.  ``round(q * (n - 1))``
+        is *not* equivalent — Python rounds half-to-even, so p50 of an even
+        window picked the lower or upper middle sample depending on whether
+        the midpoint rank happened to be even (p50 of [1, 2] chose 1 while
+        p50 of [1, 2, 3, 4] chose 3).
+        """
         if not ordered:
             return 0.0
-        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
     def snapshot(self) -> dict:

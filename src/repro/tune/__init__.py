@@ -8,7 +8,9 @@ package makes that sweep a first-class subsystem:
   (tile sizes, orderings, coarsening factors, skew/swizzle selections),
 * :func:`autotune` / :func:`sweep` — generate every candidate through the
   unified backend registry, evaluate it on the analytic device model and
-  rank by (estimated time, GPU-weighted index-op count),
+  rank by (estimated time, GPU-weighted index-op count); with
+  ``measure_top_k=k`` the analytic top-k is re-ranked by *measured*
+  substrate cost through :mod:`repro.perf` (two-stage tuning),
 * :class:`ResultCache` — persistent evaluation cache keyed off the
   hash-consed lowered index expressions.
 

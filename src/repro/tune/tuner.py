@@ -50,20 +50,33 @@ class Candidate:
     order: int = 0
     has_kernel: bool = False
     cached: bool = False
+    #: measured (substrate-traced) time when ``autotune(measure_top_k=...)``
+    #: profiled this candidate; ``None`` means analytic-only
+    measured_time_seconds: float | None = None
     metrics: dict = field(default_factory=dict)
 
     @property
     def milliseconds(self) -> float:
         return self.time_seconds * 1e3
 
+    @property
+    def measured(self) -> bool:
+        return self.measured_time_seconds is not None
+
     def rank_key(self) -> tuple:
-        # Performance-model ties break toward cheaper generated index
-        # arithmetic; candidates without a generated kernel (external
-        # baselines, layouts that patch the original kernel) lose ties to
-        # ones the backend actually generated.  Enumeration order (apps list
-        # paper-preferred values first) settles exact ties deterministically.
+        # Two-stage ranking: measured candidates rank by measured time and
+        # strictly ahead of analytic-only ones (the measured set *is* the
+        # analytic top-k, so this is the re-rank, not a demotion of the
+        # rest).  Within a tier, performance ties break toward cheaper
+        # generated index arithmetic; candidates without a generated kernel
+        # (external baselines, layouts that patch the original kernel) lose
+        # ties to ones the backend actually generated.  Enumeration order
+        # (apps list paper-preferred values first) settles exact ties
+        # deterministically.
         ops = self.index_ops if self.has_kernel else float("inf")
-        return (self.time_seconds, ops, self.order)
+        if self.measured_time_seconds is not None:
+            return (0, self.measured_time_seconds, ops, self.order)
+        return (1, self.time_seconds, ops, self.order)
 
 
 @dataclass
@@ -78,6 +91,9 @@ class TuneResult:
     #: differential-check reports of the top-ranked configs, when
     #: ``autotune(verify_top_k=...)`` requested verification
     verification: list = field(default_factory=list)
+    #: :class:`~repro.perf.KernelProfile` of each candidate
+    #: ``autotune(measure_top_k=...)`` profiled (skips included)
+    profiles: list = field(default_factory=list)
 
     @property
     def ranked(self) -> list[Candidate]:
@@ -100,7 +116,7 @@ class TuneResult:
     def summary(self) -> dict:
         """Compact JSON-friendly summary (used by the benchmark artifact)."""
         best = self.best
-        return {
+        summary = {
             "app": self.app,
             "candidates": len(self.evaluations),
             "best_config": best.config,
@@ -109,6 +125,15 @@ class TuneResult:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
         }
+        if self.profiles:
+            measured = [c for c in self.evaluations if c.measured]
+            summary["measured_candidates"] = len(measured)
+            if best.measured:
+                summary["best_measured_time_ms"] = best.measured_time_seconds * 1e3
+            summary["max_analytic_error"] = max(
+                (c.metrics.get("analytic_error", 1.0) for c in measured), default=1.0
+            )
+        return summary
 
 
 def _normalize_result(result) -> dict:
@@ -176,6 +201,9 @@ def autotune(
     service=None,
     verify_top_k: int = 0,
     verify_seed: int = 0,
+    measure_top_k: int = 0,
+    measure_seed: int = 0,
+    device=None,
 ) -> TuneResult:
     """Sweep an app's configuration space and rank every candidate.
 
@@ -191,13 +219,27 @@ def autotune(
     service compiler).  Returns a :class:`TuneResult`;
     ``result.best.config`` is the winning configuration.
 
+    ``measure_top_k`` turns the sweep into **two-stage tuning**: the full
+    space is still pre-filtered by the analytic model, then the ``k``
+    best-ranked configurations are executed on their substrate through
+    :func:`repro.perf.profile` (reusing ``service`` for generation) and
+    re-ranked by their *measured* cost; each profiled candidate records its
+    analytic-vs-measured disagreement in ``metrics["analytic_error"]`` and
+    the full :class:`~repro.perf.KernelProfile` lands in
+    :attr:`TuneResult.profiles`.  Candidates whose configuration selects
+    nothing executable (external baselines) keep their analytic rank below
+    every measured candidate.  ``device`` overrides the
+    :class:`~repro.gpusim.DeviceSpec` measurements are costed against.
+
     ``verify_top_k`` differentially checks the ``k`` best-ranked
     configurations through :mod:`repro.check` before returning — a sweep
     must not hand out a winner whose kernel computes the wrong answer — and
     raises :class:`repro.check.CheckFailure` on the first mismatch; the
     reports (including skips for evaluation-only baselines) land in
-    :attr:`TuneResult.verification`.  ``verify_seed`` makes the checks'
-    inputs reproducible.
+    :attr:`TuneResult.verification`.  With both stages requested,
+    verification runs after measurement, so it checks the *measured*
+    winners.  ``verify_seed`` / ``measure_seed`` make the stages' inputs
+    reproducible.
     """
     from ..apps.registry import AppSpec, get_app
 
@@ -278,6 +320,26 @@ def autotune(
         cache_hits=cache.hits - hits_before,
         cache_misses=cache.misses - misses_before,
     )
+    if measure_top_k > 0:
+        from ..gpusim import A100_80GB
+        from ..perf import profile
+
+        measure_device = device or A100_80GB
+        for candidate in result.ranked[:measure_top_k]:
+            kernel_profile = profile(
+                spec, candidate.config,
+                device=measure_device, seed=measure_seed, service=service,
+            )
+            result.profiles.append(kernel_profile)
+            if kernel_profile.ok:
+                candidate.measured_time_seconds = kernel_profile.measured_seconds
+                candidate.metrics = {
+                    **candidate.metrics,
+                    "analytic_error": kernel_profile.analytic_error,
+                    "measured_bound": kernel_profile.extrapolated.bound,
+                    "coalescing_efficiency": kernel_profile.metrics["coalescing_efficiency"],
+                    "bank_conflict_factor": kernel_profile.metrics["bank_conflict_factor"],
+                }
     if verify_top_k > 0:
         from ..check import CheckFailure, run_check
 
