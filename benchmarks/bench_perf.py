@@ -17,12 +17,14 @@ import argparse
 import json
 from pathlib import Path
 
-#: disagreement bound for the full eight-app sweep.  The cache-less
-#: substrates honestly over-charge the widest cube stencil's neighbour reuse
-#: (every one of its 125 passes bills as DRAM where real hardware's L2
-#: absorbs them), so the all-apps bound is wider than the 10x tripwire the
-#: perf-smoke CI job pins on matmul/transpose/nw.
+#: default disagreement bound, with per-app overrides.  matmul/transpose/nw
+#: hold a tight 10x; the stencil gets its own wide bound because the
+#: cache-less substrates honestly over-charge the cube stencils' neighbour
+#: reuse (every one of the 125-point stencil's passes bills as DRAM where
+#: real hardware's L2 absorbs them) — to be narrowed when reuse-aware
+#: costing lands.
 MAX_ANALYTIC_ERROR = 20.0
+MAX_ANALYTIC_ERROR_FOR = {"matmul": 10.0, "transpose": 10.0, "nw": 10.0, "stencil": 130.0}
 
 
 def run_perf_smoke() -> dict:
@@ -30,7 +32,9 @@ def run_perf_smoke() -> dict:
     from repro.tune import autotune
 
     args = argparse.Namespace(
-        apps="all", samples=3, seed=0, max_error=MAX_ANALYTIC_ERROR, json_path=None
+        apps="all", samples=3, seed=0, max_error=MAX_ANALYTIC_ERROR,
+        max_error_for=[f"{app}={bound}" for app, bound in MAX_ANALYTIC_ERROR_FOR.items()],
+        json_path=None,
     )
     report = run_sweep(args)
     report["measured_tuning"] = {}
@@ -49,6 +53,10 @@ def check_report(report: dict) -> None:
     for name, row in report["apps"].items():
         assert row["measured"] >= 1, f"{name}: no configuration was measured"
         assert row["failed"] == 0, f"{name}: {row['failed']} profiles failed"
+        assert row["errors_ok"], (
+            f"{name}: worst analytic error {row['max_analytic_error']:.2f}x "
+            f"exceeds its {row['max_error']:.0f}x bound"
+        )
     # the winners the paper reports, under measured ranking
     tuning = report["measured_tuning"]
     assert tuning["lud"]["best_config"]["block"] == 64

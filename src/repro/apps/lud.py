@@ -279,7 +279,9 @@ def _lud_internal_block_kernel(ctx, m: GlobalArray, offset: int, block: int):
         row_fragment = [peri_row.load(k, r_j * t + tx) for r_j in range(r)]
         for r_i in range(r):
             for r_j in range(r):
-                accumulators[r_i][r_j] += col_fragment[r_i] * row_fragment[r_j]
+                # out-of-place so the accumulator can widen to one row per
+                # block under the batched engine
+                accumulators[r_i][r_j] = accumulators[r_i][r_j] + col_fragment[r_i] * row_fragment[r_j]
         ctx.count_flops(2 * r * r * tx.size)
     ctx.syncthreads()
     for r_i in range(r):

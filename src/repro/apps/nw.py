@@ -206,8 +206,11 @@ def _nw_block_kernel(ctx, score: GlobalArray, reference: GlobalArray, config: Nw
     # blocks on wave w: block_x + block_y == w
     bx = ctx.blockIdx.x
     by = wave - bx
-    if by < 0 or by >= block_count or bx >= block_count:
+    ctx = ctx.where_blocks((by >= 0) & (by < block_count) & (bx < block_count))
+    if ctx is None:
         return
+    bx = ctx.blockIdx.x
+    by = wave - bx
     base_i = by * b
     base_j = bx * b
 
@@ -240,9 +243,10 @@ def _nw_block_kernel(ctx, score: GlobalArray, reference: GlobalArray, config: Nw
     # is read out of the logical view directly; only its global-memory store
     # traffic is charged (keeping the shared-memory conflict profile focused
     # on the latency-bound diagonal phase the layout optimisation targets).
-    interior = buff.to_numpy()[1:, 1:]
+    interior = buff.to_numpy()[..., 1:, 1:]
+    flat_interior = interior.reshape(interior.shape[:-2] + (-1,))
     rows_grid, cols_grid = np.meshgrid(np.arange(1, b + 1), np.arange(1, b + 1), indexing="ij")
-    score.store(ctx, interior.reshape(-1), base_i + rows_grid.reshape(-1), base_j + cols_grid.reshape(-1))
+    score.store(ctx, flat_interior, base_i + rows_grid.reshape(-1), base_j + cols_grid.reshape(-1))
 
 
 def run_nw_blocked(

@@ -35,6 +35,7 @@ __all__ = [
     "stencil_reference",
     "stencil_check_reference",
     "stencil_check_case",
+    "stencil_perf_case",
     "run_stencil",
     "stencil_performance",
     "stencil_speedup",
@@ -76,6 +77,48 @@ def stencil_check_case(config, rng):
         config={"stencil": spec.name, "layout": layout_name, "brick": brick, "n": n},
         inputs={"grid": grid},
         execute=execute,
+    )
+
+
+def stencil_perf_case(config, rng):
+    """The measured-profiling case: a multi-brick grid plus extrapolation.
+
+    Historically the stencil had no perf case, so measured profiling fell
+    back to the minimal check grid — too small to exercise more than one
+    interior brick, which is why the widest (125-point) stencil could only
+    be ranked sampled.  With the vectorized engine a grid of several bricks
+    per side executes in milliseconds, so the case runs it *unsampled* and
+    extrapolates by the ratio of interior cells (traffic and arithmetic are
+    both per-interior-cell; the layout's per-transaction behaviour is what
+    the measurement captures and survives scaling unchanged).
+    """
+    from .registry import PerfCase
+
+    by_name = {spec.name: spec for spec in STENCILS}
+    spec = by_name[config.get("stencil", "star-7pt")]
+    brick = config.get("brick", 4)
+    r = spec.radius
+    n = brick
+    while n < max(4 * brick, 2 * r + 2):
+        n += brick
+    grid = rng.standard_normal((n, n, n)).astype(np.float32)
+    layout_name = config.get("layout", "brick")
+    layout = brick_layout(n, brick) if layout_name == "brick" else None
+
+    def execute(kernel, device=None):
+        return run_stencil(grid, spec, layout=layout, brick=brick, device=device)
+
+    target_n = config.get("n", 512)
+    interior = (n - 2 * r) ** 3
+    target_interior = (target_n - 2 * r) ** 3
+    return PerfCase(
+        config={"stencil": spec.name, "layout": layout_name, "brick": brick, "n": n},
+        inputs={"grid": grid},
+        execute=execute,
+        scale=target_interior / interior,
+        launches=1,
+        target_config={"stencil": spec.name, "layout": layout_name, "brick": brick, "n": target_n},
+        dtype="fp32",
     )
 
 
@@ -169,9 +212,10 @@ def _stencil_kernel(ctx, src: GlobalArray, dst: GlobalArray, n: int, spec: Stenc
     j = by * brick + ctx.ty
     k = bx * brick + ctx.tx
     interior = (i >= r) & (i < n - r) & (j >= r) & (j < n - r) & (k >= r) & (k < n - r)
-    if not interior.any():
+    ctx = ctx.compact_threads(interior)
+    if ctx is None:
         return
-    ii, jj, kk = i[interior], j[interior], k[interior]
+    ii, jj, kk = ctx.compact(i), ctx.compact(j), ctx.compact(k)
     offsets = stencil_offsets(spec)
     weight = 1.0 / len(offsets)
     acc = np.zeros(ii.shape, dtype=np.float32)
@@ -303,6 +347,7 @@ def app_spec():
         evaluate=evaluate,
         reference=stencil_check_reference,
         check_case=stencil_check_case,
+        perf_case=stencil_perf_case,
         paper_config={"layout": "brick"},
         description="3-D stencil data-layout sweep (Figure 12c)",
     ))

@@ -65,6 +65,23 @@ class ConflictProfile:
         self.worst_degree = max(self.worst_degree, degree)
         self.histogram[degree] += 1
 
+    def record_many(self, degrees) -> None:
+        """Record a batch of warp-access degrees at once.
+
+        Equivalent to calling :meth:`record` per degree (the profile's
+        statistics are all order-insensitive); the vectorized engine uses
+        this to commit a whole launch's degrees in one call.
+        """
+        degrees = np.asarray(degrees, dtype=np.int64)
+        if degrees.size == 0:
+            return
+        self.accesses += int(degrees.size)
+        self.total_passes += int(degrees.sum())
+        self.worst_degree = max(self.worst_degree, int(degrees.max()))
+        counts = np.bincount(degrees)
+        for degree in np.nonzero(counts)[0]:
+            self.histogram[int(degree)] += int(counts[degree])
+
     def merge(self, other: "ConflictProfile") -> "ConflictProfile":
         merged = ConflictProfile(
             accesses=self.accesses + other.accesses,

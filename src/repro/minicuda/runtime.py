@@ -189,6 +189,31 @@ class BlockContext:
         if self.trace is not None:
             self.trace.flops += float(flops)
 
+    # -- control-flow hooks ----------------------------------------------------------
+
+    def where_blocks(self, condition):
+        """Keep executing only when this block satisfies ``condition``.
+
+        The batched context (:mod:`repro.vm.cuda`) narrows to the subset of
+        blocks where the per-block predicate holds; here the predicate is a
+        scalar, so the result is either this context or ``None``.  Kernels
+        use it in place of an early ``return`` so the same source runs under
+        both engines.
+        """
+        return self if bool(condition) else None
+
+    def compact_threads(self, mask):
+        """Restrict to the active lanes of ``mask`` (``None`` when all idle).
+
+        ``ctx.compact(x)`` on the returned context selects the active lanes
+        of a per-thread array — the engine-neutral spelling of boolean
+        compression like ``x[mask]``.
+        """
+        mask = np.broadcast_to(np.asarray(mask, dtype=bool), (self.num_threads,))
+        if not mask.any():
+            return None
+        return _CompactThreads(self, mask)
+
     # -- warp helpers ---------------------------------------------------------------
 
     def iter_warps(self, active: np.ndarray | None = None, warp_size: int | None = None):
@@ -202,6 +227,39 @@ class BlockContext:
                 mask &= active
             if mask.any():
                 yield mask
+
+
+class _CompactThreads:
+    """The active lanes of one block, as seen by array accesses.
+
+    Exposes the accounting attributes (``trace`` / ``warp_size`` /
+    ``sector_bytes`` / ``count_flops``) of the parent block so global
+    accesses through it record exactly as they would through the block
+    context with pre-compressed index arrays.
+    """
+
+    def __init__(self, ctx: "BlockContext", mask: np.ndarray):
+        self._ctx = ctx
+        self._mask = mask
+
+    @property
+    def trace(self):
+        return self._ctx.trace
+
+    @property
+    def warp_size(self):
+        return self._ctx.warp_size
+
+    @property
+    def sector_bytes(self):
+        return self._ctx.sector_bytes
+
+    def compact(self, values) -> np.ndarray:
+        """Select the active lanes of a per-thread value."""
+        return np.broadcast_to(np.asarray(values), self._mask.shape)[self._mask]
+
+    def count_flops(self, flops: float) -> None:
+        self._ctx.count_flops(flops)
 
 
 def launch(
@@ -236,21 +294,61 @@ def launch(
     else:
         if sample_blocks <= 0:
             raise ValueError("sample_blocks must be positive")
-        step = total_blocks / sample_blocks
-        block_ids = sorted({int(i * step) for i in range(sample_blocks)})
+        from ..vm.sampling import evenly_spaced
+
+        block_ids = evenly_spaced(total_blocks, sample_blocks)
         scale = total_blocks / len(block_ids)
 
     max_smem = 0
-    for flat in block_ids:
-        bx = flat % grid.x
-        by = (flat // grid.x) % grid.y
-        bz = flat // (grid.x * grid.y)
-        ctx = BlockContext(
-            Dim3(bx, by, bz), block, grid, run_trace,
-            warp_size=warp_size, sector_bytes=sector_bytes,
-        )
-        kernel(ctx, *args)
-        max_smem = max(max_smem, ctx.smem_bytes_allocated())
+    executed = False
+    from ..vm.engine import engine_mode
+
+    mode = engine_mode()
+    if mode != "treewalk" and len(block_ids) > 1:
+        from .smem import GlobalArray
+        from ..vm.cuda import launch_batched
+
+        # snapshot global arrays so a mid-flight batched failure can fall
+        # back to a clean tree-walk run
+        snapshots = [
+            (value, value.data.copy()) for value in args if isinstance(value, GlobalArray)
+        ]
+        attempt = CudaTrace(sector_bytes=sector_bytes or 32) if trace else None
+        try:
+            max_smem = launch_batched(
+                kernel, grid, block, args, attempt, block_ids,
+                warp_size=warp_size, sector_bytes=sector_bytes,
+            )
+            executed = True
+            if run_trace is not None and attempt is not None:
+                run_trace.load_elements = attempt.load_elements
+                run_trace.store_elements = attempt.store_elements
+                run_trace.load_bytes = attempt.load_bytes
+                run_trace.store_bytes = attempt.store_bytes
+                run_trace.load_transactions = attempt.load_transactions
+                run_trace.store_transactions = attempt.store_transactions
+                run_trace.smem_load_bytes = attempt.smem_load_bytes
+                run_trace.smem_store_bytes = attempt.smem_store_bytes
+                run_trace.smem_profile = attempt.smem_profile
+                run_trace.flops = attempt.flops
+        except Exception:
+            if mode == "vectorized-strict":
+                raise
+            max_smem = 0
+            for array, saved in snapshots:
+                array.data[:] = saved
+
+    if not executed:
+        for flat in block_ids:
+            bx = flat % grid.x
+            by = (flat // grid.x) % grid.y
+            bz = flat // (grid.x * grid.y)
+            ctx = BlockContext(
+                Dim3(bx, by, bz), block, grid, run_trace,
+                warp_size=warp_size, sector_bytes=sector_bytes,
+            )
+            kernel(ctx, *args)
+            max_smem = max(max_smem, ctx.smem_bytes_allocated())
 
     if run_trace is None:
         run_trace = CudaTrace()

@@ -188,6 +188,12 @@ class GlobalArray:
     def _record(self, ctx, physical: np.ndarray, is_store: bool) -> None:
         if ctx is None or ctx.trace is None:
             return
+        # batched contexts (repro.vm.cuda) synthesize the same counters from
+        # the whole-grid index array instead of per-warp Python loops
+        recorder = getattr(ctx, "record_global", None)
+        if recorder is not None:
+            recorder(physical, self.dtype.itemsize, is_store, self.sector_bytes)
+            return
         trace = ctx.trace
         flat = physical.reshape(-1)
         element_bytes = self.dtype.itemsize

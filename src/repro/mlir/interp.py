@@ -358,26 +358,61 @@ def run_gpu_kernel(
         block_ids = range(total_blocks)
         scale = 1.0
     else:
-        step = total_blocks / sample_blocks
-        block_ids = sorted({int(i * step) for i in range(sample_blocks)})
+        from ..vm.sampling import evenly_spaced
+
+        block_ids = evenly_spaced(total_blocks, sample_blocks)
         scale = total_blocks / len(block_ids)
 
     smem_per_block = 0
-    for flat in block_ids:
-        bx = flat % grid[0]
-        by = (flat // grid[0]) % grid[1]
-        bz = flat // (grid[0] * grid[1])
-        executor = _BlockExecutor(
-            (bx, by, bz), block, grid, flat_buffers, result,
-            warp_size=warp_size, sector_bytes=sector_bytes,
-        )
-        for value, array in zip(fn.arguments, arguments):
-            if isinstance(value.type, MemRefType):
-                executor.set(value, value)
-            else:
-                executor.set(value, array)
-        executor.run_block(fn.body)
-        smem_per_block = max(smem_per_block, executor.shared_allocated)
+    executed = False
+    from ..vm.engine import engine_mode
+
+    mode = engine_mode()
+    if mode != "treewalk" and len(block_ids) > 1:
+        from ..vm.mlir import launch_batched
+
+        # snapshot argument buffers so a mid-flight batched failure can
+        # fall back to a clean tree-walk run
+        snapshots = [(buf, buf.copy()) for buf in flat_buffers.values()]
+        attempt = GpuLaunchResult(sector_bytes=sector_bytes)
+        try:
+            smem_per_block = launch_batched(
+                fn, grid, block, flat_buffers, arguments, attempt, block_ids,
+                warp_size=warp_size, sector_bytes=sector_bytes,
+            )
+            executed = True
+            result.load_elements = attempt.load_elements
+            result.store_elements = attempt.store_elements
+            result.load_bytes = attempt.load_bytes
+            result.store_bytes = attempt.store_bytes
+            result.load_transactions = attempt.load_transactions
+            result.store_transactions = attempt.store_transactions
+            result.smem_bytes = attempt.smem_bytes
+            result.smem_profile = attempt.smem_profile
+            result.flops = attempt.flops
+        except Exception:
+            if mode == "vectorized-strict":
+                raise
+            smem_per_block = 0
+            for buf, saved in snapshots:
+                buf[:] = saved
+
+    if not executed:
+        for flat in block_ids:
+            bx = flat % grid[0]
+            by = (flat // grid[0]) % grid[1]
+            bz = flat // (grid[0] * grid[1])
+            executor = _BlockExecutor(
+                (bx, by, bz), block, grid, flat_buffers, result,
+                warp_size=warp_size, sector_bytes=sector_bytes,
+            )
+            for value, array in zip(fn.arguments, arguments):
+                if isinstance(value.type, MemRefType):
+                    executor.set(value, value)
+                else:
+                    executor.set(value, array)
+            executor.run_block(fn.body)
+            smem_per_block = max(smem_per_block, executor.shared_allocated)
 
     result.blocks = total_blocks
     result.threads_per_block = block[0] * block[1] * block[2]

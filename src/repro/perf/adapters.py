@@ -109,6 +109,9 @@ def trace_metrics(trace, device: DeviceSpec = A100_80GB) -> dict:
         "coalescing_efficiency": (useful / moved) if moved else 1.0,
         "bank_conflict_factor": float(getattr(trace, "bank_conflict_factor", 1.0)),
         "flops": float(trace.flops),
+        # whether only a sample of the launch grid executed (the
+        # ``--full-launch`` sweep asserts this stays False)
+        "sampled": bool(getattr(trace, "sampled", False)),
     }
 
 

@@ -169,6 +169,7 @@ def profile(
     device: DeviceSpec = A100_80GB,
     seed: int = 0,
     service=None,
+    engine: str | None = None,
 ) -> KernelProfile:
     """Measure one ``(app, config)`` pair end to end.
 
@@ -177,6 +178,10 @@ def profile(
     substrate and converts the trace into a measured cost + breakdown.
     Never raises on a substrate or model failure — the outcome is the
     returned :class:`KernelProfile`.
+
+    ``engine`` overrides the substrate execution engine for this profile
+    (``"vectorized"`` — the default — ``"vectorized-strict"`` or
+    ``"treewalk"``; see :mod:`repro.vm`); ``None`` keeps the ambient mode.
     """
     spec = _resolve(app)
     report = KernelProfile(app=spec.name, backend=spec.backend, config=dict(config), seed=seed)
@@ -208,13 +213,16 @@ def profile(
     dtype = getattr(case, "dtype", "fp32")
     tensor_core = getattr(case, "tensor_core", False)
     try:
+        from ..vm.engine import engine_mode, use_engine
+
         kernel = resolve_case_kernel(spec, case, config, service=service)
         if kernel is not None:
             report.kernel = getattr(kernel, "name", "") or ""
-        if _accepts_device(case.execute):
-            _, trace = case.execute(kernel, device=device)
-        else:
-            _, trace = case.execute(kernel)
+        with use_engine(engine if engine is not None else engine_mode()):
+            if _accepts_device(case.execute):
+                _, trace = case.execute(kernel, device=device)
+            else:
+                _, trace = case.execute(kernel)
         if trace is None:
             report.reason = "substrate records no trace for this app"
             return report
@@ -247,6 +255,7 @@ def profile_app(
     device: DeviceSpec = A100_80GB,
     seed: int = 0,
     service=None,
+    engine: str | None = None,
 ) -> list[KernelProfile]:
     """Profile ``samples`` randomly drawn valid configurations of one app.
 
@@ -258,7 +267,8 @@ def profile_app(
     spec = _resolve(app)
     configs = sample_configs(spec, samples, seed, "perf-configs")
     return [
-        profile(spec, config, device=device, seed=seed, service=service) for config in configs
+        profile(spec, config, device=device, seed=seed, service=service, engine=engine)
+        for config in configs
     ]
 
 
@@ -269,10 +279,11 @@ def profile_all(
     device: DeviceSpec = A100_80GB,
     seed: int = 0,
     service=None,
+    engine: str | None = None,
 ) -> dict[str, list[KernelProfile]]:
     """Sweep apps x sampled configs; profiles grouped by app name."""
     names = list(apps) if apps else available_apps()
     return {
-        name: profile_app(name, samples, device=device, seed=seed, service=service)
+        name: profile_app(name, samples, device=device, seed=seed, service=service, engine=engine)
         for name in names
     }

@@ -204,6 +204,7 @@ def autotune(
     measure_top_k: int = 0,
     measure_seed: int = 0,
     device=None,
+    engine: str | None = None,
 ) -> TuneResult:
     """Sweep an app's configuration space and rank every candidate.
 
@@ -229,7 +230,10 @@ def autotune(
     :attr:`TuneResult.profiles`.  Candidates whose configuration selects
     nothing executable (external baselines) keep their analytic rank below
     every measured candidate.  ``device`` overrides the
-    :class:`~repro.gpusim.DeviceSpec` measurements are costed against.
+    :class:`~repro.gpusim.DeviceSpec` measurements are costed against, and
+    ``engine`` the substrate execution engine the measurements run under
+    (vectorized by default — pass ``"treewalk"`` to force the interpreters;
+    see :mod:`repro.vm`).
 
     ``verify_top_k`` differentially checks the ``k`` best-ranked
     configurations through :mod:`repro.check` before returning — a sweep
@@ -329,6 +333,7 @@ def autotune(
             kernel_profile = profile(
                 spec, candidate.config,
                 device=measure_device, seed=measure_seed, service=service,
+                engine=engine,
             )
             result.profiles.append(kernel_profile)
             if kernel_profile.ok:

@@ -1,0 +1,51 @@
+"""Engine-mode selection shared by the three substrates.
+
+One process-wide mode decides how :func:`repro.minitriton.launch`,
+:func:`repro.minicuda.launch` and :func:`repro.mlir.run_gpu_kernel`
+execute.  The default comes from the ``REPRO_VM`` environment variable
+(``vectorized`` when unset); tests and benchmarks switch modes locally
+with the :func:`use_engine` context manager.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+__all__ = ["MODES", "engine_mode", "set_engine_mode", "use_engine"]
+
+MODES = ("vectorized", "vectorized-strict", "treewalk")
+
+_local = threading.local()
+
+
+def _default_mode() -> str:
+    mode = os.environ.get("REPRO_VM", "vectorized").strip().lower()
+    return mode if mode in MODES else "vectorized"
+
+
+def engine_mode() -> str:
+    """The active execution mode for all three substrates."""
+    mode = getattr(_local, "mode", None)
+    return mode if mode is not None else _default_mode()
+
+
+def set_engine_mode(mode: str) -> None:
+    """Set the execution mode for the current thread (until changed)."""
+    if mode not in MODES:
+        raise ValueError(f"unknown engine mode {mode!r}; expected one of {MODES}")
+    _local.mode = mode
+
+
+@contextmanager
+def use_engine(mode: str):
+    """Run a block under ``mode``, restoring the previous mode after."""
+    if mode not in MODES:
+        raise ValueError(f"unknown engine mode {mode!r}; expected one of {MODES}")
+    previous = getattr(_local, "mode", None)
+    _local.mode = mode
+    try:
+        yield
+    finally:
+        _local.mode = previous

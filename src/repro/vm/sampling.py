@@ -1,0 +1,31 @@
+"""Exact evenly-spaced sample selection.
+
+The substrates used to pick sampled programs/blocks with
+``sorted({int(i * step) for i in range(count)})`` — a float stride plus
+set-dedup, which can silently collapse to fewer ids than requested and
+skew the ``scaled()`` extrapolation.  :func:`evenly_spaced` is the
+shared exact replacement: pure integer arithmetic, always exactly
+``count`` strictly increasing ids when ``count <= total``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["evenly_spaced"]
+
+
+def evenly_spaced(total: int, count: int) -> list[int]:
+    """``count`` distinct, strictly increasing ids evenly spread over ``range(total)``.
+
+    ``i * total // count`` is integer throughout, starts at 0, and is
+    strictly increasing whenever ``count <= total`` (consecutive values
+    differ by ``floor`` of a stride >= 1), so the selection is exact by
+    construction.  ``count >= total`` returns the full range.
+    """
+    total, count = int(total), int(count)
+    if total <= 0:
+        return []
+    if count >= total:
+        return list(range(total))
+    if count <= 0:
+        return []
+    return [i * total // count for i in range(count)]
