@@ -32,6 +32,7 @@ __all__ = [
     "run_matmul",
     "matmul_reference",
     "matmul_check_case",
+    "matmul_cost",
     "matmul_performance",
     "reference_index_ops",
     "lego_spec_index_ops",
@@ -261,22 +262,26 @@ def matmul_check_case(config, rng):
     )
 
 
-def matmul_performance(
+def matmul_cost(
     config: MatmulConfig,
     implementation: str = "lego",
-    device: DeviceSpec = A100_80GB,
-) -> float:
-    """Estimated FP16 GEMM time in seconds for one implementation.
+    *,
+    threads_per_block: int = 256,
+    stages: int = 1,
+) -> KernelCost:
+    """The analytic :class:`~repro.gpusim.KernelCost` of one GEMM launch.
 
-    ``lego`` and ``triton`` map to the same tiling (the generated kernel *is*
-    a Triton kernel), so they share the efficiency curve; ``cublas`` uses the
-    vendor-library curve (the PyTorch dispatch path in Figure 11).
+    ``threads_per_block`` follows the ``num_warps`` tuning axis
+    (``32 * num_warps``); ``stages`` is software pipelining depth — each
+    extra stage double-buffers the shared-memory tiles (``smem_per_block``
+    grows, squeezing resident blocks) in exchange for a modestly better
+    effective DRAM efficiency from prefetch overlap.  The defaults
+    (``256`` threads, single stage) reproduce the historical closed form
+    exactly, which is what the figure harnesses call.
     """
-    m, n, k = config.M, config.N, config.K
-    if implementation == "cublas":
-        return cublas_matmul_time(m, n, k, device)
     if implementation not in ("lego", "triton"):
         raise ValueError(f"unknown implementation {implementation!r}")
+    m, n, k = config.M, config.N, config.K
     element = 2  # fp16
     tiles_m, tiles_n = m // config.BM, n // config.BN
     # Each operand tile is read once per tile of the other dimension inside a
@@ -287,19 +292,41 @@ def matmul_performance(
     passes_a = max(1.0, tiles_n / config.GM)
     passes_b = max(1.0, tiles_m / config.GM)
     dram_bytes = float(element) * (passes_a * m * k + passes_b * k * n + m * n)
-    cost = KernelCost(
+    stages = max(1, int(stages))
+    dram_efficiency = 0.85 if stages == 1 else min(0.92, 0.85 + 0.02 * (stages - 1))
+    return KernelCost(
         name=f"matmul_{implementation}",
         flops=2.0 * m * n * k,
         dtype="fp16",
         tensor_core=True,
         dram_bytes=max(dram_bytes, float(element) * (m * k + k * n + m * n)),
         compute_efficiency=triton_matmul_efficiency(m, n, k),
-        dram_efficiency=0.85,
+        dram_efficiency=dram_efficiency,
         blocks=float(tiles_m * tiles_n),
-        threads_per_block=256,
-        threads=float(tiles_m * tiles_n * 256),
-        smem_per_block=float((config.BM + config.BN) * config.BK * element),
+        threads_per_block=float(threads_per_block),
+        threads=float(tiles_m * tiles_n * threads_per_block),
+        smem_per_block=float((config.BM + config.BN) * config.BK * element * stages),
     )
+
+
+def matmul_performance(
+    config: MatmulConfig,
+    implementation: str = "lego",
+    device: DeviceSpec = A100_80GB,
+    *,
+    threads_per_block: int = 256,
+    stages: int = 1,
+) -> float:
+    """Estimated FP16 GEMM time in seconds for one implementation.
+
+    ``lego`` and ``triton`` map to the same tiling (the generated kernel *is*
+    a Triton kernel), so they share the efficiency curve; ``cublas`` uses the
+    vendor-library curve (the PyTorch dispatch path in Figure 11).
+    """
+    if implementation == "cublas":
+        return cublas_matmul_time(config.M, config.N, config.K, device)
+    cost = matmul_cost(config, implementation,
+                       threads_per_block=threads_per_block, stages=stages)
     return estimate_time(cost, device).total
 
 
@@ -309,18 +336,39 @@ def app_spec():
     The sweep covers operand-layout variants and the tiling configuration at
     the Figure 11 mid-size problem (4096^3); the paper's runs use the Triton
     tutorial tiling ``BM = BN = 128, BK = 64, GM = 8`` (listed first on each
-    axis so performance-model ties resolve toward it).
+    axis so performance-model ties resolve toward it).  Beyond the paper's
+    grid the space carries the launch-shape axes a real Triton sweep tunes —
+    ``num_warps`` (threads per block) and ``stages`` (pipelining depth) —
+    taking the valid space past 10^4 points; the constraint prunes
+    shared-memory overflows and degenerate work-per-thread splits.
     """
+    from ..gpusim import cost_features
     from ..tune.space import Choice, SearchSpace
     from .registry import AppSpec, register_app
 
     n = 4096
+    smem_limit = A100_80GB.smem_per_sm_bytes
+
+    def valid(config) -> bool:
+        # tile buffers (double-buffered per pipeline stage) must fit an SM's
+        # shared memory, and each of the 32*num_warps threads must own
+        # between 1 and 256 output elements of the BM x BN accumulator
+        smem = (config["BM"] + config["BN"]) * config["BK"] * 2 * config["stages"]
+        if smem > smem_limit:
+            return False
+        threads = 32 * config["num_warps"]
+        per_thread = config["BM"] * config["BN"] / threads
+        return 1 <= per_thread <= 256
+
     space = SearchSpace(
         Choice("variant", ("nn", "nt", "tn", "tt")),
-        Choice("BM", (128, 64, 256)),
-        Choice("BN", (128, 64, 256)),
-        Choice("BK", (64, 32)),
-        Choice("GM", (8, 4)),
+        Choice("BM", (128, 64, 256, 32, 16)),
+        Choice("BN", (128, 64, 256, 32, 16)),
+        Choice("BK", (64, 32, 16, 128)),
+        Choice("GM", (8, 4, 16, 1, 2)),
+        Choice("num_warps", (8, 4, 16, 2, 1)),
+        Choice("stages", (1, 2, 3)),
+        constraint=valid,
     )
 
     def evaluate(config, device=A100_80GB):
@@ -329,7 +377,13 @@ def app_spec():
         cfg = MatmulConfig(config.get("M", n), config.get("N", n), config.get("K", n),
                            BM=config["BM"], BN=config["BN"],
                            BK=config["BK"], GM=config["GM"])
-        return matmul_performance(cfg, "lego", device=device)
+        cost = matmul_cost(
+            cfg, "lego",
+            threads_per_block=32 * config.get("num_warps", 8),
+            stages=config.get("stages", 1),
+        )
+        breakdown = estimate_time(cost, device)
+        return {"time_seconds": breakdown.total, **cost_features(cost, breakdown)}
 
     return register_app(AppSpec(
         name="matmul",

@@ -318,7 +318,13 @@ def fig12b(n: int = 2048) -> ExperimentResult:
     from ..tune import Choice, sweep
 
     spec = get_app("lud")
-    space = spec.space.subspace(block=(16, 32, 64), cuda_block=(16,)).extended(Choice("n", (n,)))
+    space = spec.space.subspace(
+        block=(16, 32, 64), cuda_block=(16,),
+        # pin the scaled-up space's satellite axes at their neutral values —
+        # the figure sweeps the paper's grid, not the full tuning space
+        smem_layout=("row",), panel_layout=("row",),
+        unroll=(1,), prefetch=(0,), vector=(1,),
+    ).extended(Choice("n", (n,)))
     result = sweep(spec, space=space)
     rows = [
         {
@@ -350,7 +356,9 @@ def fig12c(n: int = 512, brick: int = 8) -> ExperimentResult:
     rows = []
     for spec in stencil.STENCILS:
         space = app.space.subspace(
-            layout=("array", "brick"), brick=(brick,), stencil=(spec.name,)
+            layout=("array", "brick"), brick=(brick,), stencil=(spec.name,),
+            brick_y=(brick,), brick_z=(brick,),
+            coarsen=(1,), vector=(1,), unroll=(1,),
         ).extended(Choice("n", (n,)))
         result = sweep(app, space=space)
         times = {c.config["layout"]: c.time_seconds for c in result.evaluations}

@@ -73,6 +73,7 @@ class ResultCache:
         config: Mapping,
         expressions: Mapping[str, str] | None = None,
         backend: str = "",
+        device: str = "",
     ) -> str:
         """Stable digest of one candidate evaluation.
 
@@ -82,10 +83,13 @@ class ResultCache:
         candidates whose generated kernel is unavailable key off the
         configuration alone.  ``backend`` is the code-generation target —
         without it two backends lowering to identical index expressions
-        would collide on one entry.  The package version salts every key so
-        entries also invalidate across releases of the analytic performance
-        model (which evaluation depends on but the expressions cannot
-        capture).
+        would collide on one entry.  ``device`` names the
+        :class:`~repro.gpusim.DeviceSpec` an evaluation was costed against —
+        per-device tuning (:mod:`repro.tune.search`) reuses one store across
+        the zoo, and the same configuration evaluates differently on every
+        device.  The package version salts every key so entries also
+        invalidate across releases of the analytic performance model (which
+        evaluation depends on but the expressions cannot capture).
         """
         from .. import __version__
 
@@ -93,6 +97,7 @@ class ResultCache:
             "version": __version__,
             "app": app,
             "backend": backend,
+            "device": device,
             "config": {name: config[name] for name in sorted(config)},
             "expressions": {name: expressions[name] for name in sorted(expressions)} if expressions else None,
         }
@@ -114,6 +119,22 @@ class ResultCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def items(self, prefix: str = "") -> list[tuple[str, dict]]:
+        """A consistent snapshot of ``(key, entry)`` pairs, optionally filtered.
+
+        Digest keys are opaque, but clients that store *namespaced* records
+        (the profile store's ``"profile-record/..."`` rows, the tuning
+        tables' ``"tuning-table/..."`` rows) scan their namespace with
+        ``prefix``.  Entries are copied, so a caller can iterate while
+        service workers keep writing.
+        """
+        with self._lock:
+            return [
+                (key, dict(entry))
+                for key, entry in self._entries.items()
+                if key.startswith(prefix)
+            ]
 
     def prune(self, keep) -> int:
         """Drop every entry for which ``keep(key, entry)`` is false.

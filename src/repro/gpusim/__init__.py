@@ -12,10 +12,26 @@ Replaces the paper's physical A100 for performance-shape reproduction:
 * cuBLAS / PyTorch baselines for Figure 11.
 """
 
-from .device import A100_80GB, DeviceSpec, bytes_per_element
+from .device import (
+    A100_80GB,
+    DEVICE_ZOO,
+    H100_80GB,
+    ORIN_AGX,
+    RTX4090,
+    DeviceSpec,
+    bytes_per_element,
+    get_device,
+)
 from .memory import AccessPattern, coalescing_efficiency, strided_traffic, warp_transactions
 from .sharedmem import ConflictProfile, access_conflict_profile, warp_conflict_degree
-from .kernelmodel import KernelCost, TimeBreakdown, estimate_time, occupancy_factor, roofline_point
+from .kernelmodel import (
+    KernelCost,
+    TimeBreakdown,
+    cost_features,
+    estimate_time,
+    occupancy_factor,
+    roofline_point,
+)
 from .baselines import (
     cublas_efficiency,
     cublas_matmul_time,
@@ -25,6 +41,11 @@ from .baselines import (
 
 __all__ = [
     "A100_80GB",
+    "H100_80GB",
+    "RTX4090",
+    "ORIN_AGX",
+    "DEVICE_ZOO",
+    "get_device",
     "DeviceSpec",
     "bytes_per_element",
     "AccessPattern",
@@ -39,6 +60,7 @@ __all__ = [
     "estimate_time",
     "occupancy_factor",
     "roofline_point",
+    "cost_features",
     "cublas_efficiency",
     "cublas_matmul_time",
     "pytorch_elementwise_time",

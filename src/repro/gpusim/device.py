@@ -7,13 +7,32 @@ by the device description below.  Absolute numbers are not expected to match
 the paper's measurements; the model only has to preserve *relative* behaviour
 (which layout wins, by roughly what factor, and where problem-size crossovers
 fall), which is determined by ratios of the quantities recorded here.
+
+Besides the paper's :data:`A100_80GB`, a small **device zoo** covers the
+machine shapes a tuning table has to distinguish: a Hopper-class datacenter
+part (more SMs, much more DRAM bandwidth), a consumer Ada part (huge clock
+and L2, a *fraction* of the DRAM bandwidth, fewer resident threads per SM)
+and an embedded Orin-class part (16 SMs, two orders of magnitude less of
+everything).  The entries are shaped from public spec sheets, not
+calibrated measurements — like the A100 entry, they only have to move the
+model's *ratios* the way the real parts would, so per-device search
+(:mod:`repro.tune.search`) has real crossovers to find.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["DeviceSpec", "A100_80GB", "bytes_per_element"]
+__all__ = [
+    "DeviceSpec",
+    "A100_80GB",
+    "H100_80GB",
+    "RTX4090",
+    "ORIN_AGX",
+    "DEVICE_ZOO",
+    "get_device",
+    "bytes_per_element",
+]
 
 
 @dataclass(frozen=True)
@@ -100,6 +119,108 @@ A100_80GB = DeviceSpec(
     max_blocks_per_sm=32,
     launch_overhead_us=5.0,
 )
+
+
+#: Hopper-class datacenter GPU (H100 SXM shape): 132 SMs, HBM3, big tensor
+#: throughput.  Relative to the A100 everything scales up, but DRAM
+#: bandwidth grows faster than shared-memory bandwidth — memory-bound
+#: layout wins shrink, occupancy cliffs move.
+H100_80GB = DeviceSpec(
+    name="NVIDIA H100 80GB",
+    num_sms=132,
+    clock_ghz=1.83,
+    dram_bandwidth_gbs=3350.0,
+    l2_bandwidth_gbs=7200.0,
+    l2_capacity_bytes=50 * 1024 * 1024,
+    smem_per_sm_bytes=228 * 1024,
+    smem_banks=32,
+    smem_bytes_per_cycle_per_sm=128,
+    fp32_gflops=66_900.0,
+    fp16_tensor_gflops=989_000.0,
+    fp64_gflops=33_500.0,
+    int32_gops=33_400.0,
+    max_threads_per_sm=2048,
+    warp_size=32,
+    max_blocks_per_sm=32,
+    launch_overhead_us=4.0,
+)
+
+#: Consumer Ada GPU (RTX 4090 shape): more SMs than an A100 and a far higher
+#: clock, but half the DRAM bandwidth and only 1536 resident threads per SM —
+#: the configurations that win here are *not* the A100 winners, which is the
+#: point of keeping it in the zoo.
+RTX4090 = DeviceSpec(
+    name="NVIDIA GeForce RTX 4090",
+    num_sms=128,
+    clock_ghz=2.52,
+    dram_bandwidth_gbs=1008.0,
+    l2_bandwidth_gbs=5200.0,
+    l2_capacity_bytes=72 * 1024 * 1024,
+    smem_per_sm_bytes=100 * 1024,
+    smem_banks=32,
+    smem_bytes_per_cycle_per_sm=128,
+    fp32_gflops=82_600.0,
+    fp16_tensor_gflops=165_200.0,
+    fp64_gflops=1_290.0,
+    int32_gops=41_300.0,
+    max_threads_per_sm=1536,
+    warp_size=32,
+    max_blocks_per_sm=24,
+    launch_overhead_us=6.0,
+)
+
+#: Embedded Ampere (Jetson AGX Orin shape): 16 SMs on LPDDR5.  The
+#: small-SM regime stresses the tail/occupancy terms of the model — launches
+#: that fill an A100 for a single wave run eight waves here.
+ORIN_AGX = DeviceSpec(
+    name="NVIDIA Jetson AGX Orin",
+    num_sms=16,
+    clock_ghz=1.3,
+    dram_bandwidth_gbs=204.8,
+    l2_bandwidth_gbs=850.0,
+    l2_capacity_bytes=4 * 1024 * 1024,
+    smem_per_sm_bytes=164 * 1024,
+    smem_banks=32,
+    smem_bytes_per_cycle_per_sm=128,
+    fp32_gflops=5_320.0,
+    fp16_tensor_gflops=21_300.0,
+    fp64_gflops=166.0,
+    int32_gops=5_320.0,
+    max_threads_per_sm=1536,
+    warp_size=32,
+    max_blocks_per_sm=16,
+    launch_overhead_us=10.0,
+)
+
+#: short name -> spec, the registry per-device tuning keys off
+DEVICE_ZOO: dict[str, DeviceSpec] = {
+    "a100": A100_80GB,
+    "h100": H100_80GB,
+    "rtx4090": RTX4090,
+    "orin": ORIN_AGX,
+}
+
+
+def get_device(name) -> DeviceSpec:
+    """Resolve a device by zoo key, full name, or pass a spec through.
+
+    Accepts the short zoo key (``"h100"``), a spec's full ``name`` (so a
+    round trip through a persisted tuning table resolves), or an existing
+    :class:`DeviceSpec` (returned unchanged, convenient for APIs that take
+    ``device: str | DeviceSpec``).
+    """
+    if isinstance(name, DeviceSpec):
+        return name
+    key = str(name).strip()
+    if key.lower() in DEVICE_ZOO:
+        return DEVICE_ZOO[key.lower()]
+    for spec in DEVICE_ZOO.values():
+        if spec.name == key:
+            return spec
+    raise ValueError(
+        f"unknown device {name!r}; zoo has {sorted(DEVICE_ZOO)} "
+        f"(or pass a DeviceSpec)"
+    )
 
 
 _DTYPE_BYTES = {

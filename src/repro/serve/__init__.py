@@ -35,6 +35,7 @@ from .service import (
     PersistedKernel,
     default_compiler,
     default_service,
+    warm_from_table,
 )
 from .traffic import generating_apps, synthetic_requests
 
@@ -48,4 +49,5 @@ __all__ = [
     "default_service",
     "generating_apps",
     "synthetic_requests",
+    "warm_from_table",
 ]

@@ -58,16 +58,36 @@ def synthetic_requests(
     if not names:
         raise ValueError("no apps with kernel generators available")
 
-    pools = {
-        name: [get_app(name).generate_config(config) for config in get_app(name).space]
-        for name in names
-    }
+    unique_count = max(1, int(round(total * (1.0 - duplicate_fraction))))
+    # Streaming cap: each app contributes at most ceil(unique/apps) distinct
+    # configurations, so stream its (possibly 10^4+-point) space just far
+    # enough instead of materialising the whole product.  Pools hold
+    # *projected* configurations deduplicated by kernel identity: a unique
+    # request should be a unique kernel, not an evaluation-axis variant of
+    # the previous one.
+    share = -(-unique_count // len(names))
+
+    def _pool(name: str) -> list[dict]:
+        spec = get_app(name)
+        seen: set[tuple] = set()
+        configs: list[dict] = []
+        for config in spec.space:
+            projected = spec.generate_config(config)
+            key = tuple(sorted(projected.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            configs.append(projected)
+            if len(configs) >= share:
+                break
+        return configs
+
+    pools = {name: _pool(name) for name in names}
     for name, pool in pools.items():
         if not pool:
             raise ValueError(f"app {name!r} has an empty search space")
 
     rng = random.Random(seed)
-    unique_count = max(1, int(round(total * (1.0 - duplicate_fraction))))
     unique: list[CompileRequest] = []
     cursors = {name: 0 for name in names}
     for i in range(unique_count):

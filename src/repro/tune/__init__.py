@@ -21,9 +21,18 @@ Quickstart::
     result.best.config      # {'block': 64, 'cuda_block': 16}
 """
 
+from ..cache import ResultCache
 from .space import Choice, SearchSpace
-from .cache import ResultCache
 from .tuner import Candidate, TuneResult, autotune, sweep
+from .model import CostModel, ProfileStore, candidate_features
+from .tables import TuningTable, problem_signature
+from .search import (
+    SearchResult,
+    evolutionary,
+    measure_candidates,
+    search,
+    successive_halving,
+)
 
 __all__ = [
     "Choice",
@@ -33,4 +42,14 @@ __all__ = [
     "TuneResult",
     "autotune",
     "sweep",
+    "SearchResult",
+    "search",
+    "successive_halving",
+    "evolutionary",
+    "measure_candidates",
+    "CostModel",
+    "ProfileStore",
+    "candidate_features",
+    "TuningTable",
+    "problem_signature",
 ]

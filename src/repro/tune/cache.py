@@ -1,15 +1,30 @@
-"""Persistent evaluation cache for the layout autotuner.
+"""Deprecated import path for :class:`repro.cache.ResultCache`.
 
 The implementation moved to :mod:`repro.cache.persistent` when the
 compilation service (:mod:`repro.serve`) started reusing the same JSON store
-as the durable tier of its kernel cache; this module remains the autotuner's
-historical import path.  See :class:`repro.cache.ResultCache` for the key
-scheme (app + config + lowered-expression fingerprint + backend) and the
-atomic-save durability contract.
+as the durable tier of its kernel cache; this module remained the
+autotuner's historical import path for two releases and is now a
+:class:`DeprecationWarning` shim — nothing in the package imports it
+anymore.  Import :class:`ResultCache` from :mod:`repro.cache` (or
+:mod:`repro.tune`, which re-exports it) instead.
 """
 
 from __future__ import annotations
 
-from ..cache.persistent import ResultCache
+import warnings
 
 __all__ = ["ResultCache"]
+
+
+def __getattr__(name: str):
+    if name == "ResultCache":
+        warnings.warn(
+            "repro.tune.cache is deprecated; import ResultCache from repro.cache "
+            "(or repro.tune) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..cache.persistent import ResultCache
+
+        return ResultCache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

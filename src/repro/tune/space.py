@@ -7,13 +7,26 @@ divide the LUD block").  Enumeration order is deterministic (the first axis
 varies slowest) and doubles as the tie-break order of the tuner: apps list
 the paper-preferred value of each axis first so that performance-model ties
 resolve toward the configuration the paper reports.
+
+Spaces are **streaming**: nothing ever materialises the full cartesian
+product.  ``raw_size`` is a closed-form product, :meth:`SearchSpace.decode`
+maps a linear index to its configuration in O(axes) via mixed-radix
+decomposition, :meth:`size` counts valid configurations without building a
+list (O(1) for unconstrained spaces, one memoised streaming pass
+otherwise), and :meth:`sample` draws without replacement by drawing
+*indices* — rejection-sampling them against the constraint, falling back to
+a single reservoir pass only when the space is too dense with rejections.
+A 10^6-point space therefore counts and samples in microseconds, which is
+what lets the app spaces grow to 10^4+ valid points (see
+:mod:`repro.tune.search`).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from itertools import product
+from itertools import islice, product
+from math import prod
 from typing import Callable, Iterator, Mapping, Sequence
 
 __all__ = ["Choice", "SearchSpace"]
@@ -33,6 +46,12 @@ class Choice:
             raise ValueError(f"choice {name!r} has no values")
 
 
+#: when rejection sampling has drawn this many times the requested count
+#: without filling it, the constraint is too dense and a streaming pass
+#: (which also settles "count covers the space") takes over
+_REJECTION_OVERDRAW = 64
+
+
 class SearchSpace:
     """A cartesian product of :class:`Choice` axes with an optional constraint."""
 
@@ -42,12 +61,35 @@ class SearchSpace:
             raise ValueError(f"duplicate choice names in search space: {names}")
         self.choices = tuple(choices)
         self.constraint = constraint
+        self._size: int | None = None if constraint is not None else self.raw_size
 
     @classmethod
     def from_dict(cls, axes: Mapping[str, Sequence],
                   constraint: Callable[[Mapping], bool] | None = None) -> "SearchSpace":
         """Build a space from ``{name: values}`` (insertion order preserved)."""
         return cls(*(Choice(name, values) for name, values in axes.items()), constraint=constraint)
+
+    @property
+    def raw_size(self) -> int:
+        """Cartesian-product size before the constraint (closed form, O(axes))."""
+        return prod(len(c.values) for c in self.choices) if self.choices else 0
+
+    def decode(self, index: int) -> dict:
+        """The configuration at linear ``index`` of the (unconstrained) product.
+
+        Mixed-radix decomposition in enumeration order — the first axis is
+        the most significant digit — so ``decode(i)`` equals the ``i``-th
+        element ``itertools.product`` would yield, without enumerating the
+        ``i - 1`` before it.  The constraint is *not* applied.
+        """
+        raw = self.raw_size
+        if not 0 <= index < raw:
+            raise IndexError(f"index {index} out of range for a {raw}-point space")
+        config = {}
+        for choice in reversed(self.choices):
+            index, digit = divmod(index, len(choice.values))
+            config[choice.name] = choice.values[digit]
+        return {c.name: config[c.name] for c in self.choices}
 
     def candidates(self) -> Iterator[dict]:
         """Every configuration satisfying the constraint, in deterministic order."""
@@ -57,32 +99,139 @@ class SearchSpace:
             if self.constraint is None or self.constraint(config):
                 yield config
 
+    def chunks(self, chunk_size: int) -> Iterator[list[dict]]:
+        """Valid configurations in enumeration order, ``chunk_size`` at a time.
+
+        The search strategies stream large spaces through this so that at
+        most one chunk of configuration dicts is alive at once.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunks() needs a positive chunk size")
+        it = self.candidates()
+        while True:
+            chunk = list(islice(it, chunk_size))
+            if not chunk:
+                return
+            yield chunk
+
     def __iter__(self) -> Iterator[dict]:
         return self.candidates()
 
-    def __len__(self) -> int:
-        return sum(1 for _ in self.candidates())
+    def size(self) -> int:
+        """Valid configurations under the constraint.
 
-    def sample(self, count: int, rng: random.Random | int | None = None) -> list[dict]:
+        Closed form for unconstrained spaces; one streaming count —
+        memoised, never a list — otherwise (constraints are treated as pure
+        functions of the configuration).
+        """
+        if self._size is None:
+            self._size = sum(1 for _ in self.candidates())
+        return self._size
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def _normalize_rng(self, rng: random.Random | int | None) -> random.Random:
+        if rng is None or isinstance(rng, int):
+            return random.Random(0 if rng is None else rng)
+        return rng
+
+    def _reservoir(self, count: int, rng: random.Random) -> list[dict]:
+        """One streaming pass: the full enumeration when it fits ``count``,
+        otherwise a uniform reservoir of ``count`` valid configurations
+        (returned in enumeration order)."""
+        reservoir: list[tuple[int, dict]] = []
+        seen = 0
+        for i, config in enumerate(self.candidates()):
+            seen += 1
+            if len(reservoir) < count:
+                reservoir.append((i, config))
+            else:
+                j = rng.randrange(seen)
+                if j < count:
+                    reservoir[j] = (i, config)
+        self._size = seen  # the pass counted the space for free
+        if not reservoir:
+            raise ValueError("cannot sample from an empty search space")
+        if seen <= count:
+            return [config for _, config in reservoir]
+        return [config for _, config in sorted(reservoir)]
+
+    def sample(
+        self,
+        count: int,
+        rng: random.Random | int | None = None,
+        stratify: str | None = None,
+    ) -> list[dict]:
         """``count`` randomly drawn valid configurations, without replacement.
 
-        Spaces are small enough to enumerate (the constraint must be applied
-        anyway), so sampling materialises the candidate list and draws from
-        it; when ``count`` covers the space the full enumeration is returned
-        in order.  ``rng`` is an explicit :class:`random.Random` (or an int
-        seed — never module-level state), so the verification subsystem's
-        draws reproduce from a printed seed.
+        Never materialises the space: unconstrained spaces draw distinct
+        linear indices and :meth:`decode` them; constrained spaces
+        rejection-sample indices against the constraint, degrading to a
+        single streaming reservoir pass when rejections dominate (which also
+        detects the ``count >= size`` case and returns the full enumeration
+        in order, preserving the historical contract).  Results come back in
+        enumeration order, so the paper-preferred configuration sorts first
+        whenever the draw includes it.
+
+        ``rng`` is an explicit :class:`random.Random` (or an int seed —
+        never module-level state), so the verification subsystem's draws
+        reproduce from a printed seed.  ``stratify`` names an axis whose
+        values split ``count`` as evenly as possible (each stratum sampled
+        from the corresponding :meth:`subspace`), guaranteeing coverage of
+        e.g. every layout family even in a tiny sample.
         """
         if count < 1:
             raise ValueError("sample() needs a positive count")
-        if rng is None or isinstance(rng, int):
-            rng = random.Random(0 if rng is None else rng)
-        population = list(self)
-        if not population:
+        rng = self._normalize_rng(rng)
+        if stratify is not None:
+            return self._stratified(count, rng, stratify)
+        raw = self.raw_size
+        if raw == 0:
             raise ValueError("cannot sample from an empty search space")
-        if count >= len(population):
-            return population
-        return rng.sample(population, count)
+        if self.constraint is None:
+            if count >= raw:
+                return list(self)
+            indices = sorted(rng.sample(range(raw), count))
+            return [self.decode(i) for i in indices]
+        if self._size is not None and count >= self._size:
+            return list(self)
+        # rejection sampling on linear indices: uniform over valid configs
+        chosen: dict[int, dict] = {}
+        attempts = 0
+        budget = max(_REJECTION_OVERDRAW * count, 1024)
+        while len(chosen) < count and attempts < budget and len(chosen) < raw:
+            attempts += 1
+            index = rng.randrange(raw)
+            if index in chosen:
+                continue
+            config = self.decode(index)
+            if self.constraint(config):
+                chosen[index] = config
+        if len(chosen) == count:
+            return [chosen[i] for i in sorted(chosen)]
+        # dense rejections (or count covers the valid space): one streaming pass
+        return self._reservoir(count, rng)
+
+    def _stratified(self, count: int, rng: random.Random, axis: str) -> list[dict]:
+        values = {c.name: c.values for c in self.choices}.get(axis)
+        if values is None:
+            raise ValueError(f"unknown stratify axis {axis!r}; space has "
+                             f"{[c.name for c in self.choices]}")
+        base, extra = divmod(count, len(values))
+        samples: list[dict] = []
+        for i, value in enumerate(values):
+            share = base + (1 if i < extra else 0)
+            if share == 0:
+                continue
+            stratum = self.subspace(**{axis: (value,)})
+            try:
+                samples.extend(stratum.sample(share, rng))
+            except ValueError:
+                continue  # a stratum emptied by the constraint contributes nothing
+        if not samples:
+            raise ValueError("cannot sample from an empty search space")
+        return samples
 
     def subspace(self, **axes: Sequence) -> "SearchSpace":
         """A copy with some axes narrowed to the given values (same constraint).

@@ -33,11 +33,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..cache import ResultCache
 from ..symbolic import CostWeights
-from .cache import ResultCache
 from .space import SearchSpace
 
-__all__ = ["Candidate", "TuneResult", "autotune", "sweep"]
+__all__ = ["Candidate", "TuneResult", "autotune", "evaluate_configs", "sweep"]
 
 
 @dataclass
@@ -145,12 +145,36 @@ def _normalize_result(result) -> dict:
     return {"time_seconds": float(result)}
 
 
+def _accepts_device(fn) -> bool:
+    """Does this evaluate callable take a ``device`` kwarg?
+
+    The registered apps all do; ad-hoc test/notebook specs may not, and
+    they keep evaluating device-free (their results are cached without a
+    device component either — see :func:`_evaluate_one`).
+    """
+    import inspect
+
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    return "device" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def _evaluate_one(spec, config, device) -> dict:
+    if device is not None and _accepts_device(spec.evaluate):
+        return _normalize_result(spec.evaluate(config, device=device))
+    return _normalize_result(spec.evaluate(config))
+
+
 def _pool_evaluate(job: tuple) -> dict:
     """Process-pool worker: resolve the app by name and evaluate one config."""
-    app_name, config = job
+    app_name, config, device = job
     from ..apps.registry import get_app
 
-    return _normalize_result(get_app(app_name).evaluate(config))
+    return _evaluate_one(get_app(app_name), config, device)
 
 
 def _service_backed(spec) -> bool:
@@ -192,6 +216,99 @@ def _generate_kernels(spec, configs: list[dict], service) -> list:
     return service.submit_batch(requests)
 
 
+def evaluate_configs(
+    spec,
+    configs: list[dict],
+    *,
+    cache: ResultCache,
+    service=None,
+    parallel: int | None = None,
+    device=None,
+) -> list["Candidate"]:
+    """Analytically evaluate a list of configurations into ranked candidates.
+
+    The shared stage behind :func:`autotune` (which evaluates a whole
+    :class:`~repro.tune.space.SearchSpace`) and :func:`repro.tune.search`
+    (which evaluates strategy-chosen pools of a space too large to
+    enumerate).  Generation goes through the compilation service: it drives
+    the unified backend, provides the expression fingerprint the cache keys
+    off, and supplies the op-count half of the ranking.  Candidates that
+    share a projected kernel share the rendered-expression work (memoised
+    by kernel identity — on a 10^4-point space re-rendering per candidate
+    would dwarf evaluation).  ``device`` is an optional
+    :class:`~repro.gpusim.DeviceSpec` threaded into device-aware app
+    evaluates and into every cache key.
+    """
+    gpu_weights = CostWeights.gpu_default()
+    device_key = device.name if device is not None else ""
+
+    keys: list[str] = []
+    ops: list[int] = []
+    kernels: list[bool] = []
+    rendered_memo: dict[int, tuple] = {}
+    for config, kernel in zip(configs, _generate_kernels(spec, configs, service)):
+        expressions = None
+        index_ops = 0
+        # Ad-hoc specs may generate objects that are not GeneratedKernels
+        # (plain source text, say); they degrade to config-only cache keys.
+        renderer = getattr(kernel, "rendered_expressions", None)
+        if renderer is not None:
+            memo = rendered_memo.get(id(kernel))
+            if memo is None:
+                rendered = renderer()
+                memo = (rendered, kernel.binding_ops(gpu_weights) if rendered else 0)
+                rendered_memo[id(kernel)] = memo
+            rendered, rendered_ops = memo
+            if rendered:
+                expressions = rendered
+                index_ops = rendered_ops
+        keys.append(ResultCache.key(spec.name, config, expressions,
+                                    backend=spec.backend, device=device_key))
+        ops.append(index_ops)
+        kernels.append(kernel is not None)
+
+    cached_results: list[dict | None] = [cache.get(key) for key in keys]
+    missing = [i for i, entry in enumerate(cached_results) if entry is None]
+
+    # Pool workers re-resolve the spec by name from a fresh process, which
+    # only works for the module-backed apps; ad-hoc AppSpecs evaluate serially.
+    from ..apps.registry import _APP_MODULES
+
+    if missing and parallel and parallel > 1 and spec.name in _APP_MODULES:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = [(spec.name, configs[i], device) for i in missing]
+        chunksize = max(1, len(jobs) // (parallel * 8))
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            fresh = list(pool.map(_pool_evaluate, jobs, chunksize=chunksize))
+    else:
+        fresh = [_evaluate_one(spec, configs[i], device) for i in missing]
+
+    for i, result in zip(missing, fresh):
+        cache.put(keys[i], result)
+        cached_results[i] = result
+
+    freshly_evaluated = set(missing)
+    evaluations = []
+    for order, (config, entry, index_ops, has_kernel) in enumerate(
+        zip(configs, cached_results, ops, kernels)
+    ):
+        assert entry is not None
+        metrics = {k: v for k, v in entry.items() if k != "time_seconds"}
+        evaluations.append(
+            Candidate(
+                config=config,
+                time_seconds=entry["time_seconds"],
+                index_ops=index_ops,
+                order=order,
+                has_kernel=has_kernel,
+                cached=order not in freshly_evaluated,
+                metrics=metrics,
+            )
+        )
+    return evaluations
+
+
 def autotune(
     app,
     space: SearchSpace | None = None,
@@ -203,6 +320,7 @@ def autotune(
     verify_seed: int = 0,
     measure_top_k: int = 0,
     measure_seed: int = 0,
+    measure_workers: int = 0,
     device=None,
     engine: str | None = None,
 ) -> TuneResult:
@@ -229,9 +347,14 @@ def autotune(
     the full :class:`~repro.perf.KernelProfile` lands in
     :attr:`TuneResult.profiles`.  Candidates whose configuration selects
     nothing executable (external baselines) keep their analytic rank below
-    every measured candidate.  ``device`` overrides the
-    :class:`~repro.gpusim.DeviceSpec` measurements are costed against, and
-    ``engine`` the substrate execution engine the measurements run under
+    every measured candidate.  ``measure_workers`` fans the measured stage
+    out over a process pool (:func:`repro.tune.search.measure_candidates` —
+    a candidate whose profile fails is demoted, never fatal); ``0`` keeps
+    the stage in-process.  ``device`` selects the
+    :class:`~repro.gpusim.DeviceSpec` *both* stages are costed against — a
+    zoo key (``"h100"``) or a spec — and is part of the evaluation cache
+    key, so one persistent store serves per-device sweeps.  ``engine``
+    overrides the substrate execution engine the measurements run under
     (vectorized by default — pass ``"treewalk"`` to force the interpreters;
     see :mod:`repro.vm`).
 
@@ -246,77 +369,26 @@ def autotune(
     reproducible.
     """
     from ..apps.registry import AppSpec, get_app
+    from ..gpusim import get_device
 
     spec: AppSpec = app if isinstance(app, AppSpec) else get_app(app)
     space = spec.space if space is None else space
-    cache = cache or ResultCache(cache_path)
-    gpu_weights = CostWeights.gpu_default()
+    # `cache or ...` would discard a caller-passed *empty* cache: ResultCache
+    # defines __len__, so a fresh store is falsy and the warm-sweep contract
+    # (pass the same cache twice, second sweep replays) would silently break
+    cache = cache if cache is not None else ResultCache(cache_path)
+    eval_device = get_device(device) if device is not None else None
 
     started = time.perf_counter()
     configs = list(space)
     if not configs:
         raise ValueError(f"search space for app {spec.name!r} is empty")
 
-    # Generation goes through the compilation service: it drives the unified
-    # backend, provides the expression fingerprint the cache keys off, and
-    # supplies the op-count half of the ranking.
-    keys: list[str] = []
-    ops: list[int] = []
-    kernels: list[bool] = []
-    for config, kernel in zip(configs, _generate_kernels(spec, configs, service)):
-        expressions = None
-        index_ops = 0
-        # Ad-hoc specs may generate objects that are not GeneratedKernels
-        # (plain source text, say); they degrade to config-only cache keys.
-        renderer = getattr(kernel, "rendered_expressions", None)
-        if renderer is not None:
-            rendered = renderer()
-            if rendered:
-                expressions = rendered
-                index_ops = kernel.binding_ops(gpu_weights)
-        keys.append(ResultCache.key(spec.name, config, expressions, backend=spec.backend))
-        ops.append(index_ops)
-        kernels.append(kernel is not None)
-
     hits_before, misses_before = cache.hits, cache.misses
-    cached_results: list[dict | None] = [cache.get(key) for key in keys]
-    missing = [i for i, entry in enumerate(cached_results) if entry is None]
-
-    # Pool workers re-resolve the spec by name from a fresh process, which
-    # only works for the module-backed apps; ad-hoc AppSpecs evaluate serially.
-    from ..apps.registry import _APP_MODULES
-
-    if missing and parallel and parallel > 1 and spec.name in _APP_MODULES:
-        from concurrent.futures import ProcessPoolExecutor
-
-        jobs = [(spec.name, configs[i]) for i in missing]
-        with ProcessPoolExecutor(max_workers=parallel) as pool:
-            fresh = list(pool.map(_pool_evaluate, jobs))
-    else:
-        fresh = [_normalize_result(spec.evaluate(configs[i])) for i in missing]
-
-    for i, result in zip(missing, fresh):
-        cache.put(keys[i], result)
-        cached_results[i] = result
-
-    freshly_evaluated = set(missing)
-    evaluations = []
-    for order, (config, entry, index_ops, has_kernel) in enumerate(
-        zip(configs, cached_results, ops, kernels)
-    ):
-        assert entry is not None
-        metrics = {k: v for k, v in entry.items() if k != "time_seconds"}
-        evaluations.append(
-            Candidate(
-                config=config,
-                time_seconds=entry["time_seconds"],
-                index_ops=index_ops,
-                order=order,
-                has_kernel=has_kernel,
-                cached=order not in freshly_evaluated,
-                metrics=metrics,
-            )
-        )
+    evaluations = evaluate_configs(
+        spec, configs, cache=cache, service=service,
+        parallel=parallel, device=eval_device,
+    )
     cache.save()
     result = TuneResult(
         app=spec.name,
@@ -326,25 +398,14 @@ def autotune(
     )
     if measure_top_k > 0:
         from ..gpusim import A100_80GB
-        from ..perf import profile
+        from .search import measure_candidates
 
-        measure_device = device or A100_80GB
-        for candidate in result.ranked[:measure_top_k]:
-            kernel_profile = profile(
-                spec, candidate.config,
-                device=measure_device, seed=measure_seed, service=service,
-                engine=engine,
-            )
-            result.profiles.append(kernel_profile)
-            if kernel_profile.ok:
-                candidate.measured_time_seconds = kernel_profile.measured_seconds
-                candidate.metrics = {
-                    **candidate.metrics,
-                    "analytic_error": kernel_profile.analytic_error,
-                    "measured_bound": kernel_profile.extrapolated.bound,
-                    "coalescing_efficiency": kernel_profile.metrics["coalescing_efficiency"],
-                    "bank_conflict_factor": kernel_profile.metrics["bank_conflict_factor"],
-                }
+        measure_device = eval_device or A100_80GB
+        result.profiles.extend(measure_candidates(
+            spec, result.ranked[:measure_top_k],
+            device=measure_device, seed=measure_seed, service=service,
+            engine=engine, workers=measure_workers,
+        ))
     if verify_top_k > 0:
         from ..check import CheckFailure, run_check
 

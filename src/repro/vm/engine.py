@@ -21,8 +21,17 @@ _local = threading.local()
 
 
 def _default_mode() -> str:
-    mode = os.environ.get("REPRO_VM", "vectorized").strip().lower()
-    return mode if mode in MODES else "vectorized"
+    raw = os.environ.get("REPRO_VM", "")
+    mode = raw.strip().lower()
+    if not mode:
+        return "vectorized"
+    if mode not in MODES:
+        # a typo'd REPRO_VM must not silently run the default engine — the
+        # variable exists precisely to force a specific one
+        raise ValueError(
+            f"invalid REPRO_VM value {raw!r}; expected one of {MODES} (or unset)"
+        )
+    return mode
 
 
 def engine_mode() -> str:

@@ -1,0 +1,374 @@
+"""Tests for the scalable search engine (repro.tune.search and friends).
+
+Covers the streaming SearchSpace on million-point products, the seeded
+strategies, the measured re-rank's fault isolation, the learned cost model,
+the device zoo and the per-device tuning tables.
+"""
+
+import random
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.tune import (
+    Choice,
+    CostModel,
+    ProfileStore,
+    ResultCache,
+    SearchSpace,
+    TuningTable,
+    autotune,
+    evolutionary,
+    measure_candidates,
+    problem_signature,
+    search,
+    successive_halving,
+)
+
+
+def _million_point_space(constraint=None):
+    return SearchSpace(
+        *(Choice(f"axis{i}", tuple(range(10))) for i in range(6)),
+        constraint=constraint,
+    )
+
+
+# -- streaming SearchSpace ----------------------------------------------------------
+
+
+def test_million_point_space_counts_and_samples_fast():
+    space = _million_point_space()
+    started = time.perf_counter()
+    assert len(space) == 10**6
+    drawn = space.sample(64, random.Random(0))
+    elapsed = time.perf_counter() - started
+    assert elapsed < 1.0, f"len+sample took {elapsed:.2f}s on a 10^6-point space"
+    assert len(drawn) == 64
+    assert len({tuple(sorted(c.items())) for c in drawn}) == 64  # no replacement
+
+
+def test_million_point_constrained_space_samples_fast():
+    space = _million_point_space(constraint=lambda c: c["axis0"] != c["axis1"])
+    started = time.perf_counter()
+    drawn = space.sample(64, random.Random(1))
+    elapsed = time.perf_counter() - started
+    assert elapsed < 1.0, f"constrained sample took {elapsed:.2f}s"
+    assert all(c["axis0"] != c["axis1"] for c in drawn)
+    assert len(drawn) == 64
+
+
+def test_decode_matches_enumeration_order():
+    space = SearchSpace(Choice("a", (1, 2, 3)), Choice("b", ("x", "y")))
+    assert [space.decode(i) for i in range(space.raw_size)] == list(space)
+    with pytest.raises(IndexError):
+        space.decode(space.raw_size)
+
+
+def test_sample_is_seed_deterministic_and_subset_of_enumeration():
+    space = SearchSpace(
+        Choice("a", tuple(range(8))), Choice("b", tuple(range(8))),
+        constraint=lambda c: (c["a"] + c["b"]) % 2 == 0,
+    )
+    everything = [tuple(sorted(c.items())) for c in space]
+    first = space.sample(10, random.Random(7))
+    second = space.sample(10, random.Random(7))
+    assert first == second
+    assert all(tuple(sorted(c.items())) in set(everything) for c in first)
+    # results come back in enumeration order
+    positions = [everything.index(tuple(sorted(c.items()))) for c in first]
+    assert positions == sorted(positions)
+
+
+def test_sample_count_covering_space_returns_full_enumeration():
+    space = SearchSpace(
+        Choice("a", (1, 2, 3)), Choice("b", (4, 5)),
+        constraint=lambda c: c["a"] != 3,
+    )
+    assert space.sample(100, random.Random(0)) == list(space)
+
+
+def test_chunks_stream_the_space_in_order():
+    space = SearchSpace(Choice("a", tuple(range(5))), Choice("b", (0, 1)))
+    chunks = list(space.chunks(3))
+    assert [len(c) for c in chunks] == [3, 3, 3, 1]
+    assert [cfg for chunk in chunks for cfg in chunk] == list(space)
+    with pytest.raises(ValueError):
+        next(space.chunks(0))
+
+
+def test_stratified_sampling_covers_every_value_of_the_axis():
+    space = SearchSpace(Choice("layout", ("row", "col", "brick")),
+                        Choice("tile", tuple(range(16))))
+    drawn = space.sample(6, random.Random(3), stratify="layout")
+    assert {c["layout"] for c in drawn} == {"row", "col", "brick"}
+    with pytest.raises(ValueError, match="unknown stratify axis"):
+        space.sample(3, random.Random(0), stratify="nope")
+
+
+def test_extended_app_spaces_cleared_the_scale_bar():
+    from repro.apps.registry import get_app
+
+    for name in ("matmul", "grouped_gemm", "lud", "stencil"):
+        space = get_app(name).space
+        assert len(space) >= 10_000, f"{name}: only {len(space)} valid configs"
+
+
+# -- strategies ---------------------------------------------------------------------
+
+
+def test_successive_halving_is_seed_deterministic():
+    first = successive_halving("matmul", budget=96, seed=5, cache=ResultCache())
+    second = successive_halving("matmul", budget=96, seed=5, cache=ResultCache())
+    assert [c.config for c in first] == [c.config for c in second]
+    other = successive_halving("matmul", budget=96, seed=6, cache=ResultCache())
+    assert [c.config for c in first] != [c.config for c in other]
+
+
+def test_evolutionary_is_seed_deterministic_and_respects_constraints():
+    from repro.apps.registry import get_app
+
+    space = get_app("lud").space
+    first = evolutionary("lud", budget=80, seed=2, cache=ResultCache())
+    second = evolutionary("lud", budget=80, seed=2, cache=ResultCache())
+    assert [c.config for c in first] == [c.config for c in second]
+    assert all(space.constraint(c.config) for c in first)
+
+
+def test_sampled_strategies_always_include_the_paper_config():
+    from repro.apps.registry import get_app
+
+    paper_first = next(iter(get_app("lud").space))
+    ranked = successive_halving("lud", budget=32, seed=11, cache=ResultCache())
+    assert paper_first in [c.config for c in ranked]
+
+
+def test_search_exhaustive_matches_autotune_winner():
+    result = search("nw", strategy="exhaustive", measure_top_k=0, cache=ResultCache())
+    baseline = autotune("nw")
+    assert result.best.config == baseline.best.config
+    assert result.evaluated == len(baseline.evaluations) == result.space_size
+
+
+def test_search_rejects_unknown_strategy():
+    with pytest.raises(ValueError, match="unknown search strategy"):
+        search("nw", strategy="simulated-annealing", cache=ResultCache())
+
+
+# -- measured re-rank and fault isolation -------------------------------------------
+
+
+def test_measure_top_k_larger_than_space_measures_everything():
+    result = autotune("transpose", measure_top_k=1000)
+    assert len(result.profiles) == len(result.evaluations) == 24
+    assert result.best.measured
+
+
+def test_inexecutable_candidate_is_demoted_not_fatal():
+    # lud blocks >= 128 need more static shared memory than any CUDA device
+    # allows, so their profiles come back "skipped"; the sweep must survive
+    # and the demoted candidate must rank below every measured one
+    from repro.tune.tuner import evaluate_configs
+    from repro.apps.registry import get_app
+
+    spec = get_app("lud")
+    configs = [
+        {"block": 128, "cuda_block": 16, "smem_layout": "row",
+         "panel_layout": "row", "unroll": 1, "prefetch": 0, "vector": 1},
+        {"block": 64, "cuda_block": 16, "smem_layout": "row",
+         "panel_layout": "row", "unroll": 1, "prefetch": 0, "vector": 1},
+        {"block": 32, "cuda_block": 16, "smem_layout": "row",
+         "panel_layout": "row", "unroll": 1, "prefetch": 0, "vector": 1},
+    ]
+    candidates = evaluate_configs(spec, configs, cache=ResultCache())
+    profiles = measure_candidates(spec, candidates)
+    assert [p.status for p in profiles] == ["skipped", "measured", "measured"]
+    demoted, ok_64, ok_32 = candidates
+    assert not demoted.measured and demoted.metrics["profile_status"] == "skipped"
+    assert ok_64.measured and ok_32.measured
+    ranked = sorted(candidates, key=type(candidates[0]).rank_key)
+    assert ranked[-1] is demoted  # analytic tier sorts below measured tier
+
+
+def test_parallel_measurement_matches_serial_and_isolates_faults():
+    from repro.tune.tuner import evaluate_configs
+    from repro.apps.registry import get_app
+
+    spec = get_app("lud")
+    configs = [
+        {"block": b, "cuda_block": 16, "smem_layout": "row",
+         "panel_layout": "row", "unroll": 1, "prefetch": 0, "vector": 1}
+        for b in (128, 64, 32, 16)
+    ]
+    serial = evaluate_configs(spec, configs, cache=ResultCache())
+    parallel = evaluate_configs(spec, configs, cache=ResultCache())
+    serial_profiles = measure_candidates(spec, serial, workers=0)
+    parallel_profiles = measure_candidates(spec, parallel, workers=2)
+    assert [p.status for p in serial_profiles] == [p.status for p in parallel_profiles]
+    assert [c.measured_time_seconds for c in serial] == pytest.approx(
+        [c.measured_time_seconds for c in parallel]
+    )
+
+
+def test_search_keeps_walking_past_demoted_candidates():
+    # on the H100-like spec the analytic ranking leads with inexecutable
+    # block-128 configurations; the measured ladder must drain past them and
+    # still crown a *measured* winner — the paper's block-64 configuration
+    result = search("lud", device="h100", budget=256, measure_top_k=4,
+                    cache=ResultCache())
+    assert result.measured >= 4
+    assert result.best.measured
+    assert result.best.config["block"] == 64
+    assert result.best.config["cuda_block"] == 16
+
+
+# -- the learned cost model ---------------------------------------------------------
+
+
+def test_ridge_model_recovers_a_synthetic_ranking():
+    rng = np.random.default_rng(0)
+    features = [rng.uniform(0.0, 10.0, size=11) for _ in range(64)]
+    # ground truth: time dominated by two features the model must discover
+    seconds = [10 ** ((f[0] * 0.4 + f[4] * 0.2) - 3.0) for f in features]
+    model = CostModel.fit(features, seconds, app="toy", device="test")
+    predicted = [model.predict_seconds(f) for f in features]
+    true_order = np.argsort(seconds)
+    predicted_order = np.argsort(predicted)
+    # rank agreement (Spearman-ish): the orderings must strongly correlate
+    rank_of = np.empty(len(seconds))
+    rank_of[true_order] = np.arange(len(seconds))
+    pred_rank = np.empty(len(seconds))
+    pred_rank[predicted_order] = np.arange(len(seconds))
+    correlation = np.corrcoef(rank_of, pred_rank)[0, 1]
+    assert correlation > 0.95
+
+
+def test_cost_model_payload_roundtrip_and_feature_guard():
+    model = CostModel.fit([np.arange(11.0) + i for i in range(9)],
+                          [1e-3 * (i + 1) for i in range(9)], app="a", device="d")
+    clone = CostModel.from_payload(model.payload())
+    probe = np.linspace(0.0, 5.0, 11)
+    assert clone.predict_seconds(probe) == pytest.approx(model.predict_seconds(probe))
+    stale = model.payload()
+    stale["features"] = ["something", "else"]
+    assert CostModel.from_payload(stale) is None
+
+
+def test_profile_store_trains_after_min_samples(tmp_path):
+    cache = ResultCache(tmp_path / "store.json")
+    store = ProfileStore(cache)
+    assert store.model("lud", "dev") is None
+    result = search("lud", budget=128, measure_top_k=8, cache=cache,
+                    profile_store=store)
+    device = result.device
+    assert store.sample_count("lud", device) >= 8
+    model = store.model("lud", device)
+    assert model is not None and model.samples >= 8
+    # the next search actually uses it
+    again = search("lud", budget=128, seed=3, measure_top_k=4, cache=cache,
+                   profile_store=store)
+    assert again.model_used and again.model_samples >= 8
+    assert again.best.config["block"] == 64
+
+
+# -- device zoo ---------------------------------------------------------------------
+
+
+def test_device_zoo_lookup():
+    from repro.gpusim import A100_80GB, DEVICE_ZOO, get_device
+
+    assert set(DEVICE_ZOO) >= {"a100", "h100", "rtx4090", "orin"}
+    assert get_device("a100") is A100_80GB
+    assert get_device("H100").num_sms == 132
+    assert get_device(A100_80GB) is A100_80GB
+    assert get_device(A100_80GB.name) is A100_80GB
+    with pytest.raises(ValueError, match="a100"):
+        get_device("tpu-v5")
+
+
+def test_search_winners_are_device_keyed(tmp_path):
+    cache = ResultCache(tmp_path / "zoo.json")
+    table = TuningTable(cache)
+    for device in ("a100", "rtx4090"):
+        search("matmul", device=device, budget=192, measure_top_k=2,
+               cache=cache, table=table)
+    entries = table.entries()
+    assert len(entries) == 2
+    assert len({e["device"] for e in entries}) == 2
+    a100_best = table.best("matmul", "NVIDIA A100 80GB")
+    assert a100_best is not None and "BM" in a100_best
+
+
+# -- tuning tables and service warming ----------------------------------------------
+
+
+def test_problem_signature_ignores_tuning_axes():
+    assert problem_signature({"n": 2048, "block": 64}) == "n=2048"
+    assert problem_signature({"block": 64, "unroll": 4}) == "default"
+    # variant is a tuned axis (the apps search over it), not a problem key
+    assert problem_signature({"M": 512, "N": 256, "variant": "nn", "BM": 128}) == (
+        "M=512,N=256"
+    )
+
+
+def test_warm_from_table_precompiles_winners(tmp_path):
+    from repro.serve import CompileService, warm_from_table
+
+    cache = ResultCache(tmp_path / "warm.json")
+    table = TuningTable(cache)
+    search("transpose", budget=64, measure_top_k=0, cache=cache, table=table)
+    with CompileService(workers=2) as service:
+        warmed = warm_from_table(service, table)
+        assert warmed == 1
+        assert service.stats().compiled == 1
+        # the request a client would send for the tuned config is now a hit
+        from repro.serve import CompileRequest
+        from repro.apps.registry import get_app
+
+        spec = get_app("transpose")
+        config = table.best("transpose", "NVIDIA A100 80GB")
+        service.compile(CompileRequest("transpose", spec.generate_config(config)))
+        assert service.stats().memory_hits >= 1
+
+
+# -- compatibility shims ------------------------------------------------------------
+
+
+def test_tune_cache_module_is_a_deprecated_alias():
+    import importlib
+
+    module = importlib.import_module("repro.tune.cache")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        cls = module.ResultCache
+    assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+    from repro.cache import ResultCache as canonical
+
+    assert cls is canonical
+
+
+# -- the vectorized LUD analytic path -----------------------------------------------
+
+
+def test_lud_vectorized_matches_reference_loop_at_defaults():
+    from repro.apps.lud import LudConfig, lud_performance, lud_performance_vectorized
+    from repro.gpusim import A100_80GB
+
+    for block, cuda_block in ((16, 16), (32, 16), (64, 16), (64, 8), (128, 16)):
+        config = LudConfig(n=2048, block=block, cuda_block=cuda_block)
+        reference = lud_performance(config, A100_80GB)
+        fast, features = lud_performance_vectorized(config, A100_80GB)
+        assert fast == pytest.approx(reference, rel=1e-9), (block, cuda_block)
+        assert features["flops"] > 0
+
+
+def test_lud_satellite_axes_only_ever_cost():
+    from repro.apps.lud import LudConfig, lud_performance_vectorized
+
+    config = LudConfig(n=2048, block=64, cuda_block=16)
+    neutral, _ = lud_performance_vectorized(config)
+    for axes in ({"smem_layout": "col"}, {"panel_layout": "skew"},
+                 {"unroll": 16}, {"prefetch": 1}, {"vector": 4}):
+        penalised, _ = lud_performance_vectorized(config, **axes)
+        assert penalised >= neutral, axes

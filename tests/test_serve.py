@@ -289,7 +289,10 @@ def test_autotune_ranking_unchanged_by_persisted_kernels(tmp_path):
         warm = autotune("lud", service=second)
         stats = second.stats()
     assert stats.persistent_hits > 0 and stats.compiled == 0
-    assert warm.best.config == cold.best.config == {"block": 64, "cuda_block": 16}
+    # the space has grown satellite axes since the paper's grid; the paper
+    # winner is the subset that must survive
+    assert warm.best.config == cold.best.config
+    assert cold.best.config["block"] == 64 and cold.best.config["cuda_block"] == 16
     assert [c.index_ops for c in warm.evaluations] == [c.index_ops for c in cold.evaluations]
     assert [c.time_seconds for c in warm.evaluations] == [
         c.time_seconds for c in cold.evaluations

@@ -161,8 +161,15 @@ def test_autotune_rejects_empty_spaces(toy_spec):
 
 
 def test_autotune_parallel_evaluation_matches_serial():
-    serial = autotune("stencil")
-    parallel = autotune("stencil", parallel=2)
+    from repro.apps.registry import get_app
+
+    # a narrowed slice of the (now 10^4+-point) stencil space: big enough to
+    # exercise pool chunking, small enough to sweep twice in a test
+    space = get_app("stencil").space.subspace(
+        brick=(8,), brick_y=(8,), brick_z=(8,), vector=(1,), unroll=(1,)
+    )
+    serial = autotune("stencil", space=space)
+    parallel = autotune("stencil", space=space, parallel=2)
     assert [c.config for c in serial.evaluations] == [c.config for c in parallel.evaluations]
     assert [c.time_seconds for c in serial.evaluations] == pytest.approx(
         [c.time_seconds for c in parallel.evaluations]

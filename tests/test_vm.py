@@ -63,7 +63,13 @@ def test_env_selects_mode(monkeypatch):
     monkeypatch.setattr(engine_module._local, "mode", None, raising=False)
     monkeypatch.setenv("REPRO_VM", "treewalk")
     assert engine_mode() == "treewalk"
+    # a typo'd engine name must fail loudly, not silently run the default
+    # engine while the user believes they selected another
+    monkeypatch.setattr(engine_module._local, "mode", None, raising=False)
     monkeypatch.setenv("REPRO_VM", "bogus")
+    with pytest.raises(ValueError, match="REPRO_VM"):
+        engine_mode()
+    monkeypatch.setenv("REPRO_VM", "")
     assert engine_mode() == "vectorized"
 
 
