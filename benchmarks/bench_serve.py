@@ -55,14 +55,14 @@ def run_serve_bench() -> dict:
         warm_seconds = time.perf_counter() - started
         # Warm p99 timed over its own samples: the service's reservoir now
         # holds cold and warm passes mixed, whose p99 is a cold compile.
-        from repro.serve import LatencyRecorder
+        from repro.obs import percentile
 
         warm_samples = []
         for request in requests[:200]:
             t0 = time.perf_counter()
             cold_service.compile(request)
             warm_samples.append(time.perf_counter() - t0)
-        warm_p99_ms = LatencyRecorder._percentile(sorted(warm_samples), 0.99) * 1e3
+        warm_p99_ms = percentile(sorted(warm_samples), 0.99) * 1e3
         warm_stats = cold_service.stats()
 
     # Regime 2: cold again, but batch-submitted over N workers.

@@ -272,6 +272,15 @@ def _compare(report: CheckReport, actual, reference) -> CheckReport:
 
 
 def _check(spec: AppSpec, config: Mapping, *, seed: int, kernel, service) -> CheckReport:
+    from ..obs.trace import span
+
+    with span("check.run", "check", app=spec.name, seed=seed) as root:
+        report = _check_inner(spec, config, seed=seed, kernel=kernel, service=service)
+        root.add(status=report.status)
+    return report
+
+
+def _check_inner(spec: AppSpec, config: Mapping, *, seed: int, kernel, service) -> CheckReport:
     report = CheckReport(app=spec.name, backend=spec.backend, config=dict(config), seed=seed)
     if spec.check_case is None or spec.reference is None:
         report.reason = "app registers no reference model / check case"

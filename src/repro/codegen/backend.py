@@ -155,16 +155,19 @@ class TemplateBackend(Backend):
         cost_weights: CostWeights | None = None,
         **options,
     ) -> GeneratedKernel:
+        from ..obs.trace import span
+
         lowered = context.lower(cost_weights=cost_weights)
-        printer = self.printer_cls()
-        rendered: dict[str, object] = {
-            binding_name: binding.render(printer) for binding_name, binding in lowered.items()
-        }
-        if extra_bindings:
-            for key, value in extra_bindings.items():
-                rendered.setdefault(key, value)
-        validate_bound(name, extract_placeholders(template), rendered)
-        source = render_template(template, rendered)
+        with span("codegen.render", "codegen", kernel=name, backend=self.name):
+            printer = self.printer_cls()
+            rendered: dict[str, object] = {
+                binding_name: binding.render(printer) for binding_name, binding in lowered.items()
+            }
+            if extra_bindings:
+                for key, value in extra_bindings.items():
+                    rendered.setdefault(key, value)
+            validate_bound(name, extract_placeholders(template), rendered)
+            source = render_template(template, rendered)
         return self.kernel_cls(
             name=name,
             source=source,

@@ -191,11 +191,14 @@ class CodegenContext:
         weights = cost_weights or self.weights
         if self._lowered is not None and self._lowered_key == self._lowering_key(weights):
             return self._lowered
+        from ..obs.trace import span
+
         started = time.perf_counter()
         stats_before = CACHE_STATS.snapshot()
         lowered: dict[str, LoweredBinding] = {}
-        for name, value in self._bindings.items():
-            lowered[name] = self._lower_one(name, value, weights)
+        with span("codegen.lower", "codegen", kernel=self.name, bindings=len(self._bindings)):
+            for name, value in self._bindings.items():
+                lowered[name] = self._lower_one(name, value, weights)
         self.generation_seconds = time.perf_counter() - started
         self.last_cache_stats = CACHE_STATS.delta(stats_before, CACHE_STATS.snapshot())
         self._lowered = lowered

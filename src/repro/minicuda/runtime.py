@@ -331,12 +331,15 @@ def launch(
                 run_trace.smem_store_bytes = attempt.smem_store_bytes
                 run_trace.smem_profile = attempt.smem_profile
                 run_trace.flops = attempt.flops
-        except Exception:
+        except Exception as exc:
             if mode == "vectorized-strict":
                 raise
             max_smem = 0
             for array, saved in snapshots:
                 array.data[:] = saved
+            from ..obs import record_vm_fallback
+
+            record_vm_fallback("minicuda", kernel, exc)
 
     if not executed:
         for flat in block_ids:

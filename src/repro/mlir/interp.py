@@ -390,12 +390,15 @@ def run_gpu_kernel(
             result.smem_bytes = attempt.smem_bytes
             result.smem_profile = attempt.smem_profile
             result.flops = attempt.flops
-        except Exception:
+        except Exception as exc:
             if mode == "vectorized-strict":
                 raise
             smem_per_block = 0
             for buf, saved in snapshots:
                 buf[:] = saved
+            from ..obs import record_vm_fallback
+
+            record_vm_fallback("mlir", fn, exc)
 
     if not executed:
         for flat in block_ids:

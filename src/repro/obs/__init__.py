@@ -1,0 +1,111 @@
+"""``repro.obs`` — the unified tracing & metrics layer.
+
+The stack spans five subsystems (codegen -> serve -> check -> perf ->
+tune.search); this package is where all of their telemetry converges:
+
+* :mod:`repro.obs.trace` — the structured **span tracer**: context-manager
+  spans (:func:`span`), thread-safe and nestable, ~zero-cost when disabled,
+  enabled process-wide by the ``REPRO_TRACE`` environment variable and
+  exported as Chrome trace-event / Perfetto-compatible JSON
+  (:func:`export_trace`), so a whole ``autotune(measure_top_k=...)`` run or
+  serve replay opens directly in a trace viewer.
+* :mod:`repro.obs.metrics` — the **metrics registry**
+  (:data:`REGISTRY`): counters, gauges and reservoir histograms, the
+  shared ceil-based nearest-rank :func:`percentile`, absorbed stat sources
+  (the symbolic cache counters by default; services register their
+  :class:`~repro.serve.metrics.ServiceStats`), one snapshot/delta API and
+  a Prometheus-style text exposition.
+* :mod:`repro.obs.report` — **attribution**: per-thread span trees,
+  per-stage self-time breakdown and Chrome-trace schema validation.
+
+``python -m repro.obs`` runs an instrumented autotune plus a short serve
+replay, prints the per-stage attribution report and writes
+``BENCH_obs.json`` (the ``obs-smoke`` CI artifact).
+"""
+
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    percentile,
+)
+from .report import (
+    SpanNode,
+    attribution,
+    render_attribution,
+    span_trees,
+    validate_chrome_trace,
+)
+from .trace import (
+    TRACE_ENV,
+    TRACER,
+    Span,
+    Tracer,
+    chrome_trace,
+    clear_trace,
+    export_trace,
+    instant,
+    set_tracing,
+    span,
+    trace_enabled,
+    trace_events,
+    tracing,
+)
+
+def record_vm_fallback(substrate: str, kernel, exc: BaseException) -> None:
+    """Record one vectorized-engine fallback to the tree-walk interpreter.
+
+    Called by the substrate runtimes (minitriton / minicuda / mlir) at the
+    point where a batched execution attempt failed and the launch restarts
+    under the tree-walk engine: bumps the ``repro.vm.fallbacks`` counter and
+    drops an instant event into the active trace so the fallback shows up in
+    the timeline next to the re-executed launch.
+    """
+    counter("repro.vm.fallbacks").inc()
+    instant(
+        "vm.fallback",
+        "vm",
+        substrate=substrate,
+        kernel=getattr(kernel, "name", "") or getattr(kernel, "__name__", ""),
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+__all__ = [
+    "record_vm_fallback",
+    # tracing
+    "TRACE_ENV",
+    "TRACER",
+    "Span",
+    "Tracer",
+    "span",
+    "instant",
+    "trace_enabled",
+    "set_tracing",
+    "tracing",
+    "trace_events",
+    "chrome_trace",
+    "export_trace",
+    "clear_trace",
+    # metrics
+    "REGISTRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "counter",
+    "gauge",
+    "histogram",
+    "percentile",
+    # reporting
+    "SpanNode",
+    "span_trees",
+    "attribution",
+    "render_attribution",
+    "validate_chrome_trace",
+]

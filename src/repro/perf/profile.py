@@ -41,6 +41,7 @@ import numpy as np
 from ..apps.registry import AppSpec, PerfCase, available_apps, get_app
 from ..check.runner import resolve_case_kernel, sample_configs, stable_seed
 from ..gpusim import A100_80GB, DeviceSpec, KernelCost, TimeBreakdown, estimate_time
+from ..obs.trace import span
 from .adapters import trace_metrics, trace_to_cost
 
 __all__ = ["KernelProfile", "profile", "profile_app", "profile_all"]
@@ -79,6 +80,10 @@ class KernelProfile:
     reason: str = ""
     seed: int = 0
     kernel: str = ""
+    #: device-zoo name of the device model the profile ran against
+    device: str = ""
+    #: substrate execution engine mode the case executed under (see repro.vm)
+    engine: str = ""
     #: measured cost of the case as executed (extensive counters at case size)
     measured_cost: KernelCost | None = None
     #: device-model breakdown of the case as executed
@@ -119,6 +124,8 @@ class KernelProfile:
             "reason": self.reason,
             "seed": self.seed,
             "kernel": self.kernel,
+            "device": self.device,
+            "engine": self.engine,
             "measured": self.measured.as_dict() if self.measured is not None else None,
             "extrapolated": self.extrapolated.as_dict() if self.extrapolated is not None else None,
             "measured_ms": self.measured_seconds * 1e3,
@@ -183,68 +190,82 @@ def profile(
     (``"vectorized"`` — the default — ``"vectorized-strict"`` or
     ``"treewalk"``; see :mod:`repro.vm`); ``None`` keeps the ambient mode.
     """
-    spec = _resolve(app)
-    report = KernelProfile(app=spec.name, backend=spec.backend, config=dict(config), seed=seed)
-    builder = spec.perf_case or spec.check_case
-    if builder is None:
-        report.reason = "app registers neither perf_case nor check_case"
-        return report
-    rng = np.random.default_rng(
-        stable_seed(seed, "perf", spec.name, {k: config[k] for k in sorted(config)})
-    )
-    try:
-        if _accepts_device(builder):
-            case = builder(dict(config), rng, device=device)
-        else:
-            case = builder(dict(config), rng)
-    except Exception as exc:
-        report.status = "failed"
-        report.reason = f"case builder raised {type(exc).__name__}: {exc}"
-        return report
-    if case is None:
-        report.reason = "configuration selects no executable kernel"
-        return report
-    report.case_config = dict(case.config)
-    scale = float(getattr(case, "scale", 1.0))
-    launches = int(getattr(case, "launches", 1))
-    target_config = getattr(case, "target_config", None) or dict(case.config)
-    report.target_config = dict(target_config)
-    report.scale, report.launches = scale, launches
-    dtype = getattr(case, "dtype", "fp32")
-    tensor_core = getattr(case, "tensor_core", False)
-    try:
-        from ..vm.engine import engine_mode, use_engine
+    from ..vm.engine import engine_mode, use_engine
 
-        kernel = resolve_case_kernel(spec, case, config, service=service)
-        if kernel is not None:
-            report.kernel = getattr(kernel, "name", "") or ""
-        with use_engine(engine if engine is not None else engine_mode()):
-            if _accepts_device(case.execute):
-                _, trace = case.execute(kernel, device=device)
-            else:
-                _, trace = case.execute(kernel)
-        if trace is None:
-            report.reason = "substrate records no trace for this app"
+    spec = _resolve(app)
+    resolved_engine = engine if engine is not None else engine_mode()
+    report = KernelProfile(app=spec.name, backend=spec.backend, config=dict(config),
+                           seed=seed, device=device.name, engine=resolved_engine)
+    with span("perf.profile", "perf", app=spec.name, device=device.name,
+              engine=resolved_engine) as root:
+        builder = spec.perf_case or spec.check_case
+        if builder is None:
+            report.reason = "app registers neither perf_case nor check_case"
+            root.add(status=report.status)
             return report
-        adapter_args: dict = {"name": report.kernel or spec.name}
-        if isinstance(case, PerfCase):
-            adapter_args.update(dtype=dtype, tensor_core=tensor_core)
-        cost = trace_to_cost(trace, device, **adapter_args)
-        report.measured_cost = cost
-        report.measured = estimate_time(cost, device)
-        full_cost = replace(cost.scaled(scale), launches=launches)
-        report.extrapolated = estimate_time(full_cost, device)
-        report.metrics = trace_metrics(trace, device)
-        report.analytic_seconds = _analytic_seconds(spec, target_config, device)
-    except Exception as exc:
-        report.status = "failed"
-        report.reason = f"{type(exc).__name__}: {exc}"
-        return report
-    measured = report.extrapolated.total
-    if measured > 0 and report.analytic_seconds > 0:
-        high, low = max(measured, report.analytic_seconds), min(measured, report.analytic_seconds)
-        report.analytic_error = high / low
-    report.status = "measured"
+        rng = np.random.default_rng(
+            stable_seed(seed, "perf", spec.name, {k: config[k] for k in sorted(config)})
+        )
+        try:
+            if _accepts_device(builder):
+                case = builder(dict(config), rng, device=device)
+            else:
+                case = builder(dict(config), rng)
+        except Exception as exc:
+            report.status = "failed"
+            report.reason = f"case builder raised {type(exc).__name__}: {exc}"
+            root.add(status=report.status)
+            return report
+        if case is None:
+            report.reason = "configuration selects no executable kernel"
+            root.add(status=report.status)
+            return report
+        report.case_config = dict(case.config)
+        scale = float(getattr(case, "scale", 1.0))
+        launches = int(getattr(case, "launches", 1))
+        target_config = getattr(case, "target_config", None) or dict(case.config)
+        report.target_config = dict(target_config)
+        report.scale, report.launches = scale, launches
+        dtype = getattr(case, "dtype", "fp32")
+        tensor_core = getattr(case, "tensor_core", False)
+        try:
+            with span("perf.resolve", "perf", app=spec.name):
+                kernel = resolve_case_kernel(spec, case, config, service=service)
+            if kernel is not None:
+                report.kernel = getattr(kernel, "name", "") or ""
+            with use_engine(resolved_engine):
+                with span("vm.execute", "vm", app=spec.name, engine=resolved_engine,
+                          kernel=report.kernel or spec.name):
+                    if _accepts_device(case.execute):
+                        _, trace = case.execute(kernel, device=device)
+                    else:
+                        _, trace = case.execute(kernel)
+            if trace is None:
+                report.reason = "substrate records no trace for this app"
+                root.add(status=report.status)
+                return report
+            with span("perf.adapt", "perf", app=spec.name):
+                adapter_args: dict = {"name": report.kernel or spec.name}
+                if isinstance(case, PerfCase):
+                    adapter_args.update(dtype=dtype, tensor_core=tensor_core)
+                cost = trace_to_cost(trace, device, **adapter_args)
+                report.measured_cost = cost
+                report.measured = estimate_time(cost, device)
+                full_cost = replace(cost.scaled(scale), launches=launches)
+                report.extrapolated = estimate_time(full_cost, device)
+                report.metrics = trace_metrics(trace, device)
+                report.analytic_seconds = _analytic_seconds(spec, target_config, device)
+        except Exception as exc:
+            report.status = "failed"
+            report.reason = f"{type(exc).__name__}: {exc}"
+            root.add(status=report.status)
+            return report
+        measured = report.extrapolated.total
+        if measured > 0 and report.analytic_seconds > 0:
+            high, low = max(measured, report.analytic_seconds), min(measured, report.analytic_seconds)
+            report.analytic_error = high / low
+        report.status = "measured"
+        root.add(status=report.status)
     return report
 
 

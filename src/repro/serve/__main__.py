@@ -9,6 +9,11 @@ application registry's search spaces and reports throughput plus the full
 The second pass replays the identical trace against the now-warm cache,
 which is the service's headline effect: warm throughput is dictionary-lookup
 bound while the cold pass pays for each distinct compilation once.
+
+With ``--metrics`` the replay also prints the unified registry
+(:data:`repro.obs.REGISTRY` — service stats plus the symbolic cache
+counters) in Prometheus text exposition; set ``REPRO_TRACE=1`` (or pass
+``--trace PATH``) to export the replay as Chrome trace-event JSON.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import json
 import time
 from pathlib import Path
 
+from ..obs import REGISTRY, export_trace, set_tracing, span, trace_enabled
 from .service import CompileService
 from .traffic import generating_apps, synthetic_requests
 
@@ -46,6 +52,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="persistent kernel-store JSON path (default: memory tier only)")
     parser.add_argument("--json", default=None, metavar="PATH", dest="json_path",
                         help="also write the report to this file")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the unified metrics registry in Prometheus text exposition")
+    parser.add_argument("--trace", default=None, metavar="PATH", dest="trace_path",
+                        help="export the replay as Chrome trace-event JSON to this file "
+                             "(implies tracing on)")
     return parser
 
 
@@ -74,27 +85,41 @@ def run_replay(args: argparse.Namespace) -> dict:
         cache=ShardedLRUCache(shards=args.shards, capacity_per_shard=max(64, distinct)),
         store=args.store,
     ) as service:
-        for index in range(max(1, args.passes)):
-            started = time.perf_counter()
-            service.submit_batch(requests)
-            elapsed = time.perf_counter() - started
-            report["passes"].append({
-                "pass": index + 1,
-                "wall_seconds": elapsed,
-                "requests_per_second": len(requests) / elapsed if elapsed > 0 else float("inf"),
-            })
-        service.flush()
-        report["stats"] = service.stats().as_dict()
+        source = service.register_metrics()
+        try:
+            with span("serve.replay", "serve", requests=len(requests),
+                      passes=max(1, args.passes), workers=args.workers):
+                for index in range(max(1, args.passes)):
+                    with span("serve.pass", "serve", index=index + 1):
+                        started = time.perf_counter()
+                        service.submit_batch(requests)
+                        elapsed = time.perf_counter() - started
+                    report["passes"].append({
+                        "pass": index + 1,
+                        "wall_seconds": elapsed,
+                        "requests_per_second": len(requests) / elapsed if elapsed > 0 else float("inf"),
+                    })
+                service.flush()
+            report["stats"] = service.stats().as_dict()
+            report["metrics"] = REGISTRY.snapshot()
+        finally:
+            REGISTRY.unregister_source(source)
     return report
 
 
 def main(argv: list[str] | None = None) -> dict:
     args = _build_parser().parse_args(argv)
+    if args.trace_path:
+        set_tracing(True)
     report = run_replay(args)
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
+    if args.metrics:
+        print(REGISTRY.render_prometheus())
     if args.json_path:
         Path(args.json_path).write_text(text + "\n")
+    if args.trace_path and trace_enabled():
+        print(f"trace: {export_trace(args.trace_path)}")
     return report
 
 

@@ -10,10 +10,11 @@ mid-traffic snapshot can and cannot tear).
 
 from __future__ import annotations
 
-import math
 import threading
 from collections import deque
 from dataclasses import dataclass, field
+
+from ..obs.metrics import percentile
 
 __all__ = ["LatencyRecorder", "ServiceStats"]
 
@@ -46,21 +47,11 @@ class LatencyRecorder:
     def count(self) -> int:
         return self._count
 
-    @staticmethod
-    def _percentile(ordered: list[float], q: float) -> float:
-        """Nearest-rank percentile over an ascending-sorted sample list.
-
-        Uses the ceil-based nearest-rank definition: the q-quantile of n
-        samples is the ``ceil(q * n)``-th smallest.  ``round(q * (n - 1))``
-        is *not* equivalent — Python rounds half-to-even, so p50 of an even
-        window picked the lower or upper middle sample depending on whether
-        the midpoint rank happened to be even (p50 of [1, 2] chose 1 while
-        p50 of [1, 2, 3, 4] chose 3).
-        """
-        if not ordered:
-            return 0.0
-        rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
-        return ordered[rank]
+    # The ceil-based nearest-rank implementation now lives in
+    # ``repro.obs.metrics.percentile`` (one shared definition for the serve
+    # and perf sides); this delegating staticmethod keeps the call sites the
+    # p50/p95/p99 regression tests pin.
+    _percentile = staticmethod(percentile)
 
     def snapshot(self) -> dict:
         """Consistent ``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`` view."""

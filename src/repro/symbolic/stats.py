@@ -42,6 +42,9 @@ class CacheCounters:
     print_hits: int = 0
     print_misses: int = 0
     rule_applications: dict[str, int] = field(default_factory=dict)
+    #: bumped by every :meth:`reset`; snapshots carry it so :meth:`delta`
+    #: can tell that the counters were zeroed between two snapshots
+    epoch: int = 0
 
     def count_rule(self, name: str) -> None:
         self.rule_applications[name] = self.rule_applications.get(name, 0) + 1
@@ -51,6 +54,7 @@ class CacheCounters:
         from .expr import intern_table_size
 
         return {
+            "epoch": self.epoch,
             "simplify_hits": self.simplify_hits,
             "simplify_misses": self.simplify_misses,
             "fixpoint_hits": self.fixpoint_hits,
@@ -67,19 +71,36 @@ class CacheCounters:
 
     @staticmethod
     def delta(before: dict[str, object], after: dict[str, object]) -> dict[str, object]:
-        """Counter increments between two :meth:`snapshot` results."""
+        """Counter increments between two :meth:`snapshot` results.
+
+        Reset-safe: when :meth:`reset` ran between the two snapshots (their
+        ``epoch`` values differ) the ``before`` values are baselines of
+        counters that have since been zeroed, so every counter's delta falls
+        back to its ``after`` value — the exact count since the reset — and
+        a third-party snapshot holder (a serve replay, a search sweep) can
+        never observe a negative delta.  Remaining negatives from malformed
+        inputs are clamped to zero for the same reason.
+        """
+        reset_between = after.get("epoch", 0) != before.get("epoch", 0)
         out: dict[str, object] = {}
         for key, after_value in after.items():
-            before_value = before.get(key, 0)
+            if key == "epoch":
+                continue
+            before_value = 0 if reset_between else before.get(key, 0)
             if isinstance(after_value, dict):
                 before_rules = before_value if isinstance(before_value, dict) else {}
                 out[key] = {
-                    name: count - before_rules.get(name, 0)
+                    name: max(0, count - before_rules.get(name, 0))
                     for name, count in after_value.items()
                     if count != before_rules.get(name, 0)
                 }
             else:
-                out[key] = after_value - before_value
+                before_number = before_value if isinstance(before_value, (int, float)) else 0
+                difference = after_value - before_number
+                # the intern table is never reset, so its size may legally
+                # shrink between snapshots only if the table itself could
+                # evict; counters are monotonic within an epoch — clamp both
+                out[key] = max(0, difference) if key != "interned_nodes" else difference
         for kind in ("simplify", "fixpoint", "proof", "range", "print"):
             hits = out.get(f"{kind}_hits", 0)
             total = hits + out.get(f"{kind}_misses", 0)
@@ -98,6 +119,7 @@ class CacheCounters:
         self.print_hits = 0
         self.print_misses = 0
         self.rule_applications.clear()
+        self.epoch += 1
 
 
 #: the process-global counter instance used by every cache layer
@@ -110,5 +132,15 @@ def cache_statistics() -> dict[str, object]:
 
 
 def reset_cache_statistics() -> None:
-    """Zero all global cache counters (the intern table is left alone)."""
+    """Zero all global cache counters (the intern table is left alone).
+
+    The reset is routed through the observability registry: the counters'
+    epoch is bumped (so any snapshot taken before the reset deltas cleanly
+    — see :meth:`CacheCounters.delta`) and the registry records the reset,
+    keeping every absorbed-source consumer (serve replays, search sweeps)
+    free of spurious negative rates mid-window.
+    """
     CACHE_STATS.reset()
+    from ..obs.metrics import REGISTRY
+
+    REGISTRY.on_reset("repro.symbolic.cache")

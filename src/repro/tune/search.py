@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..cache import ResultCache
+from ..obs.trace import span
 from .model import ProfileStore
 from .space import SearchSpace
 from .tables import TuningTable
@@ -305,6 +306,13 @@ class SearchResult:
     #: candidates re-ranked by measured substrate cost
     measured: int
     wall_seconds: float = 0.0
+    #: the substrate execution engine the measured stage ran under
+    #: (``repro.vm`` mode — makes the artifact self-describing across
+    #: ``REPRO_VM`` settings)
+    engine: str = ""
+    #: per-stage wall seconds (``prefilter`` / ``model`` / ``measure``) —
+    #: the structured replacement for reading only the lone ``wall_seconds``
+    stage_seconds: dict = field(default_factory=dict)
     evaluations: list[Candidate] = field(default_factory=list)
     profiles: list = field(default_factory=list)
     #: a learned cost model participated in survivor selection
@@ -328,6 +336,7 @@ class SearchResult:
             "app": self.app,
             "device": self.device,
             "strategy": self.strategy,
+            "engine": self.engine,
             "space_size": self.space_size,
             "candidates_considered": self.space_size,
             "candidates_evaluated": self.evaluated,
@@ -341,6 +350,7 @@ class SearchResult:
             "model_used": self.model_used,
             "model_samples": self.model_samples,
             "wall_seconds": self.wall_seconds,
+            "stage_seconds": dict(self.stage_seconds),
             "measured_ok": len(measured_ok),
         }
 
@@ -401,95 +411,113 @@ def search(
     evaluation, measurement, cache keys and persistence.
     """
     from ..gpusim import A100_80GB, get_device
+    from ..vm.engine import engine_mode
 
     spec = _resolve(app)
     space = spec.space if space is None else space
     device_spec = get_device(device) if device is not None else A100_80GB
     cache = cache if cache is not None else ResultCache(cache_path)
     store = profile_store if profile_store is not None else ProfileStore(cache)
+    resolved_engine = engine if engine is not None else engine_mode()
 
     started = time.perf_counter()
-    space_size = len(space)
-    if strategy == "auto":
-        strategy = "exhaustive" if space_size <= budget else "halving"
-    if strategy == "exhaustive":
-        evaluations = sorted(
-            evaluate_configs(spec, list(space), cache=cache, service=service,
-                             parallel=parallel, device=device_spec),
-            key=Candidate.rank_key,
+    stage_seconds: dict[str, float] = {}
+    with span("tune.search", "tune", app=spec.name, device=device_spec.name,
+              budget=budget, measure_top_k=measure_top_k) as root:
+        space_size = len(space)
+        if strategy == "auto":
+            strategy = "exhaustive" if space_size <= budget else "halving"
+        root.add(strategy=strategy)
+        stage_started = time.perf_counter()
+        with span("search.prefilter", "search", app=spec.name, strategy=strategy):
+            if strategy == "exhaustive":
+                evaluations = sorted(
+                    evaluate_configs(spec, list(space), cache=cache, service=service,
+                                     parallel=parallel, device=device_spec),
+                    key=Candidate.rank_key,
+                )
+            elif strategy == "halving":
+                evaluations = successive_halving(spec, space, budget=budget, seed=seed,
+                                                 cache=cache, service=service,
+                                                 device=device_spec, parallel=parallel)
+            elif strategy in ("evolution", "evolutionary"):
+                evaluations = evolutionary(spec, space, budget=budget, seed=seed,
+                                           cache=cache, service=service,
+                                           device=device_spec, parallel=parallel)
+            else:
+                raise ValueError(
+                    f"unknown search strategy {strategy!r}; expected 'auto', "
+                    f"'exhaustive', 'halving' or 'evolution'"
+                )
+        stage_seconds["prefilter"] = time.perf_counter() - stage_started
+
+        # learned second filter: interleave the analytic ranking with the
+        # model's, so the measured budget covers both (analytic leader first)
+        stage_started = time.perf_counter()
+        model = store.model(spec.name, device_spec.name)
+        model_used = False
+        survivors = evaluations[:measure_top_k]
+        if model is not None and measure_top_k > 0 and evaluations:
+            with span("search.model", "search", app=spec.name, samples=model.samples):
+                window = evaluations[:max(4 * measure_top_k, 16)]
+                scores = model.score_candidates(window)
+                by_model = [c for _, _, c in
+                            sorted(zip(scores, range(len(window)), window),
+                                   key=lambda t: (t[0], t[1]))]
+                survivors = _interleave(evaluations, by_model, max(measure_top_k, 1))
+                model_used = True
+        stage_seconds["model"] = time.perf_counter() - stage_started
+
+        # Measured re-rank as a draining ladder: a demoted candidate (skipped —
+        # e.g. its static shared memory would not launch — or failed) frees its
+        # slot for the next-ranked one, so the sweep keeps walking the ranking
+        # until ``measure_top_k`` candidates measured successfully or the
+        # attempt cap runs out.  Skips are cheap (the case builder bails before
+        # executing anything), so the cap is generous.
+        stage_started = time.perf_counter()
+        profiles = []
+        if measure_top_k > 0:
+            with span("search.measure", "search", app=spec.name, top_k=measure_top_k,
+                      engine=resolved_engine):
+                seen_ids = {id(c) for c in survivors}
+                queue = survivors + [c for c in evaluations if id(c) not in seen_ids]
+                attempt_cap = max(16 * measure_top_k, 64)
+                successes, position = 0, 0
+                while (successes < measure_top_k and position < len(queue)
+                       and position < attempt_cap):
+                    batch = queue[position:position + measure_top_k]
+                    position += len(batch)
+                    batch_profiles = measure_candidates(spec, batch, device=device_spec,
+                                                        seed=seed, service=service,
+                                                        engine=engine, workers=workers)
+                    successes += sum(1 for p in batch_profiles if getattr(p, "ok", False))
+                    profiles.extend(batch_profiles)
+                    if train:
+                        for candidate, kernel_profile in zip(batch, batch_profiles):
+                            store.record(kernel_profile, candidate, device=device_spec.name)
+                if train:
+                    store.train(spec.name, device_spec.name)
+        stage_seconds["measure"] = time.perf_counter() - stage_started
+
+        result = SearchResult(
+            app=spec.name,
+            device=device_spec.name,
+            strategy=strategy,
+            engine=resolved_engine,
+            space_size=space_size,
+            evaluated=len(evaluations),
+            measured=sum(1 for p in profiles if getattr(p, "ok", False)),
+            evaluations=evaluations,
+            profiles=profiles,
+            model_used=model_used,
+            model_samples=model.samples if model is not None else 0,
+            stage_seconds=stage_seconds,
         )
-    elif strategy == "halving":
-        evaluations = successive_halving(spec, space, budget=budget, seed=seed,
-                                         cache=cache, service=service,
-                                         device=device_spec, parallel=parallel)
-    elif strategy in ("evolution", "evolutionary"):
-        evaluations = evolutionary(spec, space, budget=budget, seed=seed,
-                                   cache=cache, service=service,
-                                   device=device_spec, parallel=parallel)
-    else:
-        raise ValueError(
-            f"unknown search strategy {strategy!r}; expected 'auto', "
-            f"'exhaustive', 'halving' or 'evolution'"
-        )
-
-    # learned second filter: interleave the analytic ranking with the
-    # model's, so the measured budget covers both (analytic leader first)
-    model = store.model(spec.name, device_spec.name)
-    model_used = False
-    survivors = evaluations[:measure_top_k]
-    if model is not None and measure_top_k > 0 and evaluations:
-        window = evaluations[:max(4 * measure_top_k, 16)]
-        scores = model.score_candidates(window)
-        by_model = [c for _, _, c in
-                    sorted(zip(scores, range(len(window)), window),
-                           key=lambda t: (t[0], t[1]))]
-        survivors = _interleave(evaluations, by_model, max(measure_top_k, 1))
-        model_used = True
-
-    # Measured re-rank as a draining ladder: a demoted candidate (skipped —
-    # e.g. its static shared memory would not launch — or failed) frees its
-    # slot for the next-ranked one, so the sweep keeps walking the ranking
-    # until ``measure_top_k`` candidates measured successfully or the
-    # attempt cap runs out.  Skips are cheap (the case builder bails before
-    # executing anything), so the cap is generous.
-    profiles = []
-    if measure_top_k > 0:
-        seen_ids = {id(c) for c in survivors}
-        queue = survivors + [c for c in evaluations if id(c) not in seen_ids]
-        attempt_cap = max(16 * measure_top_k, 64)
-        successes, position = 0, 0
-        while (successes < measure_top_k and position < len(queue)
-               and position < attempt_cap):
-            batch = queue[position:position + measure_top_k]
-            position += len(batch)
-            batch_profiles = measure_candidates(spec, batch, device=device_spec,
-                                                seed=seed, service=service,
-                                                engine=engine, workers=workers)
-            successes += sum(1 for p in batch_profiles if getattr(p, "ok", False))
-            profiles.extend(batch_profiles)
-            if train:
-                for candidate, kernel_profile in zip(batch, batch_profiles):
-                    store.record(kernel_profile, candidate, device=device_spec.name)
-        if train:
-            store.train(spec.name, device_spec.name)
-
-    result = SearchResult(
-        app=spec.name,
-        device=device_spec.name,
-        strategy=strategy,
-        space_size=space_size,
-        evaluated=len(evaluations),
-        measured=sum(1 for p in profiles if getattr(p, "ok", False)),
-        evaluations=evaluations,
-        profiles=profiles,
-        model_used=model_used,
-        model_samples=model.samples if model is not None else 0,
-    )
-    best = result.best
-    if table is not None:
-        table.put(spec.name, device_spec.name, best.config,
-                  time_ms=(best.measured_time_seconds or best.time_seconds) * 1e3,
-                  measured=best.measured, source=f"search:{strategy}")
-    cache.save()
-    result.wall_seconds = time.perf_counter() - started
+        best = result.best
+        if table is not None:
+            table.put(spec.name, device_spec.name, best.config,
+                      time_ms=(best.measured_time_seconds or best.time_seconds) * 1e3,
+                      measured=best.measured, source=f"search:{strategy}")
+        cache.save()
+        result.wall_seconds = time.perf_counter() - started
     return result

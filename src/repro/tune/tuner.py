@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..cache import ResultCache
+from ..obs.trace import span
 from ..symbolic import CostWeights
 from .space import SearchSpace
 
@@ -246,7 +247,9 @@ def evaluate_configs(
     ops: list[int] = []
     kernels: list[bool] = []
     rendered_memo: dict[int, tuple] = {}
-    for config, kernel in zip(configs, _generate_kernels(spec, configs, service)):
+    with span("serve.compile", "serve", app=spec.name, configs=len(configs)):
+        generated = _generate_kernels(spec, configs, service)
+    for config, kernel in zip(configs, generated):
         expressions = None
         index_ops = 0
         # Ad-hoc specs may generate objects that are not GeneratedKernels
@@ -274,15 +277,17 @@ def evaluate_configs(
     # only works for the module-backed apps; ad-hoc AppSpecs evaluate serially.
     from ..apps.registry import _APP_MODULES
 
-    if missing and parallel and parallel > 1 and spec.name in _APP_MODULES:
-        from concurrent.futures import ProcessPoolExecutor
+    with span("tune.model", "tune", app=spec.name,
+              configs=len(configs), cached=len(configs) - len(missing)):
+        if missing and parallel and parallel > 1 and spec.name in _APP_MODULES:
+            from concurrent.futures import ProcessPoolExecutor
 
-        jobs = [(spec.name, configs[i], device) for i in missing]
-        chunksize = max(1, len(jobs) // (parallel * 8))
-        with ProcessPoolExecutor(max_workers=parallel) as pool:
-            fresh = list(pool.map(_pool_evaluate, jobs, chunksize=chunksize))
-    else:
-        fresh = [_evaluate_one(spec, configs[i], device) for i in missing]
+            jobs = [(spec.name, configs[i], device) for i in missing]
+            chunksize = max(1, len(jobs) // (parallel * 8))
+            with ProcessPoolExecutor(max_workers=parallel) as pool:
+                fresh = list(pool.map(_pool_evaluate, jobs, chunksize=chunksize))
+        else:
+            fresh = [_evaluate_one(spec, configs[i], device) for i in missing]
 
     for i, result in zip(missing, fresh):
         cache.put(keys[i], result)
@@ -380,41 +385,50 @@ def autotune(
     eval_device = get_device(device) if device is not None else None
 
     started = time.perf_counter()
-    configs = list(space)
-    if not configs:
-        raise ValueError(f"search space for app {spec.name!r} is empty")
+    with span("tune.autotune", "tune", app=spec.name,
+              measure_top_k=measure_top_k, verify_top_k=verify_top_k) as root:
+        configs = list(space)
+        if not configs:
+            raise ValueError(f"search space for app {spec.name!r} is empty")
+        root.add(candidates=len(configs))
 
-    hits_before, misses_before = cache.hits, cache.misses
-    evaluations = evaluate_configs(
-        spec, configs, cache=cache, service=service,
-        parallel=parallel, device=eval_device,
-    )
-    cache.save()
-    result = TuneResult(
-        app=spec.name,
-        evaluations=evaluations,
-        cache_hits=cache.hits - hits_before,
-        cache_misses=cache.misses - misses_before,
-    )
-    if measure_top_k > 0:
-        from ..gpusim import A100_80GB
-        from .search import measure_candidates
+        hits_before, misses_before = cache.hits, cache.misses
+        # the exhaustive analytic sweep is autotune's pre-filter: it selects
+        # the measured stage's survivors exactly as the sampled strategies
+        # do for spaces too large to enumerate
+        with span("search.prefilter", "search", app=spec.name, strategy="exhaustive"):
+            evaluations = evaluate_configs(
+                spec, configs, cache=cache, service=service,
+                parallel=parallel, device=eval_device,
+            )
+        cache.save()
+        result = TuneResult(
+            app=spec.name,
+            evaluations=evaluations,
+            cache_hits=cache.hits - hits_before,
+            cache_misses=cache.misses - misses_before,
+        )
+        if measure_top_k > 0:
+            from ..gpusim import A100_80GB
+            from .search import measure_candidates
 
-        measure_device = eval_device or A100_80GB
-        result.profiles.extend(measure_candidates(
-            spec, result.ranked[:measure_top_k],
-            device=measure_device, seed=measure_seed, service=service,
-            engine=engine, workers=measure_workers,
-        ))
-    if verify_top_k > 0:
-        from ..check import CheckFailure, run_check
+            measure_device = eval_device or A100_80GB
+            with span("search.measure", "search", app=spec.name, top_k=measure_top_k):
+                result.profiles.extend(measure_candidates(
+                    spec, result.ranked[:measure_top_k],
+                    device=measure_device, seed=measure_seed, service=service,
+                    engine=engine, workers=measure_workers,
+                ))
+        if verify_top_k > 0:
+            from ..check import CheckFailure, run_check
 
-        for candidate in result.ranked[:verify_top_k]:
-            report = run_check(spec, candidate.config, seed=verify_seed, service=service)
-            result.verification.append(report)
-            if report.status == "failed":
-                raise CheckFailure(report)
-    result.wall_seconds = time.perf_counter() - started
+            with span("check.verify", "check", app=spec.name, top_k=verify_top_k):
+                for candidate in result.ranked[:verify_top_k]:
+                    report = run_check(spec, candidate.config, seed=verify_seed, service=service)
+                    result.verification.append(report)
+                    if report.status == "failed":
+                        raise CheckFailure(report)
+        result.wall_seconds = time.perf_counter() - started
     return result
 
 
