@@ -1,6 +1,6 @@
-"""Shared caching infrastructure for the tuner and the compilation service.
+"""Shared caching infrastructure for the tuner, the service and the farm.
 
-Two tiers live here, composed by their users:
+Four pieces live here, composed by their users:
 
 * :class:`ShardedLRUCache` — the in-memory tier: N independently locked LRU
   shards with per-shard hit/miss/eviction counters.  Keys are arbitrary
@@ -12,9 +12,26 @@ Two tiers live here, composed by their users:
   flag raised when an unreadable store was discarded on load.  Grown out of
   ``repro.tune.cache`` (which now re-exports it) so the autotuner's
   evaluation cache and the service's kernel store share one implementation.
+* :class:`ShardedFileStore` — the multi-process durable tier: one atomic
+  file per entry, sharded into subdirectories, so compile-farm workers in
+  different processes share one store without last-writer-wins data loss
+  and without ever observing a torn entry.
+* :class:`ClaimRegistry` / :class:`Claim` — cross-process in-flight dedup:
+  cache-keyed claim files with lease deadlines and dead-claimant detection,
+  the primitive that makes "each distinct kernel compiles once" hold across
+  worker processes (and survive a ``SIGKILL`` mid-compile).
 """
 
+from .claims import Claim, ClaimRegistry
+from .filestore import ShardedFileStore
 from .persistent import ResultCache, stable_digest
 from .sharded import ShardedLRUCache
 
-__all__ = ["ResultCache", "ShardedLRUCache", "stable_digest"]
+__all__ = [
+    "Claim",
+    "ClaimRegistry",
+    "ResultCache",
+    "ShardedFileStore",
+    "ShardedLRUCache",
+    "stable_digest",
+]

@@ -152,6 +152,34 @@ class ResultCache:
                 self._dirty = True
             return len(doomed)
 
+    def reload(self) -> bool:
+        """Re-read the backing file, merging entries written by other processes.
+
+        A multi-process reader (the farm stress tests, a monitoring script)
+        can refresh its view of a store that other ``ResultCache`` instances
+        keep saving.  On-disk entries never overwrite this instance's own
+        unsaved (dirty) state: local entries win on key conflicts, so a
+        ``put`` can never be silently lost to a reload.  Returns ``False``
+        (and raises :attr:`corrupt_reset`) if the file was unreadable — by
+        the atomic-save contract that can only mean a non-``ResultCache``
+        writer truncated it.
+        """
+        if self.path is None or not self.path.exists():
+            return True
+        try:
+            loaded = json.loads(self.path.read_text())
+            if not isinstance(loaded, dict):
+                raise json.JSONDecodeError("store root is not an object", "", 0)
+        except (OSError, json.JSONDecodeError):
+            self.corrupt_reset = True
+            return False
+        with self._lock:
+            merged = dict(loaded)
+            if self._dirty:
+                merged.update(self._entries)
+            self._entries = merged
+        return True
+
     def save(self) -> Path | None:
         """Atomically write the store back (no-op without a path or changes).
 

@@ -76,7 +76,23 @@ def record_vm_fallback(substrate: str, kernel, exc: BaseException) -> None:
     )
 
 
+def record_farm_event(kind: str, **fields) -> None:
+    """Record one farm lifecycle event (``shed`` / ``restart`` / ``redrive``).
+
+    Called by the compile-farm supervisor (:mod:`repro.serve.farm`) at the
+    points production debugging cares about: a capped lane shedding a
+    request, a worker process dying and being replaced, and an orphaned
+    in-flight request being re-driven to a fresh worker.  Each call bumps
+    the ``repro.farm.<kind>s`` counter and — when tracing is enabled —
+    drops a ``farm.<kind>`` instant into the timeline so the event lines up
+    with the serve spans around it.
+    """
+    counter(f"repro.farm.{kind}s").inc()
+    instant(f"farm.{kind}", "farm", **fields)
+
+
 __all__ = [
+    "record_farm_event",
     "record_vm_fallback",
     # tracing
     "TRACE_ENV",

@@ -12,8 +12,15 @@ registry):
   over interned-expression fingerprints; optional persistent JSON store),
 * :class:`ServiceStats` — the metrics snapshot: per-shard hit rates,
   p50/p95/p99 latency, queue depth, dedup and compile counters,
-* :func:`synthetic_requests` + ``python -m repro.serve`` — deterministic
-  traffic replay from the application registry's search spaces.
+* :class:`CompileFarm` — the multi-process tier: N worker processes over a
+  shared durable :class:`~repro.cache.ShardedFileStore`, priority lanes
+  with bounded admission (over-cap submissions shed with a typed
+  :class:`Rejected`), cross-process claim-file dedup, worker health
+  checking with automatic restart and request re-drive, and per-lane
+  p50/p95/p99/p99.9 latency in :class:`FarmStats`,
+* :func:`synthetic_requests` / :func:`traffic_trace` + ``python -m
+  repro.serve`` — deterministic traffic replay (uniform-duplicate traces,
+  or Zipf-popular Poisson arrivals across configurable burst phases).
 
 Quickstart::
 
@@ -28,26 +35,60 @@ through the shared :func:`default_service`, so sweeps get batching, dedup
 and a warm cross-sweep kernel cache with no caller changes.
 """
 
-from .metrics import LatencyRecorder, ServiceStats
+from .admission import (
+    LANE_INTERACTIVE,
+    LANE_SWEEP,
+    LANES,
+    AdmissionController,
+    Rejected,
+)
+from .farm import CompileFarm, FarmCompileError
+from .metrics import FarmStats, LaneStats, LatencyRecorder, ServiceStats
 from .service import (
     CompileRequest,
     CompileService,
     PersistedKernel,
     default_compiler,
     default_service,
+    table_requests,
     warm_from_table,
 )
-from .traffic import generating_apps, synthetic_requests
+from .traffic import (
+    DEFAULT_PHASES,
+    BurstPhase,
+    TimedRequest,
+    generating_apps,
+    synthetic_requests,
+    trace_summary,
+    traffic_trace,
+    zipf_requests,
+)
 
 __all__ = [
+    "AdmissionController",
+    "BurstPhase",
+    "CompileFarm",
     "CompileRequest",
     "CompileService",
-    "PersistedKernel",
+    "DEFAULT_PHASES",
+    "FarmCompileError",
+    "FarmStats",
+    "LANES",
+    "LANE_INTERACTIVE",
+    "LANE_SWEEP",
+    "LaneStats",
     "LatencyRecorder",
+    "PersistedKernel",
+    "Rejected",
     "ServiceStats",
+    "TimedRequest",
     "default_compiler",
     "default_service",
     "generating_apps",
     "synthetic_requests",
+    "table_requests",
+    "trace_summary",
+    "traffic_trace",
     "warm_from_table",
+    "zipf_requests",
 ]

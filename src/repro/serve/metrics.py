@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from ..obs.metrics import percentile
 
-__all__ = ["LatencyRecorder", "ServiceStats"]
+__all__ = ["FarmStats", "LaneStats", "LatencyRecorder", "ServiceStats"]
 
 
 class LatencyRecorder:
@@ -54,7 +54,12 @@ class LatencyRecorder:
     _percentile = staticmethod(percentile)
 
     def snapshot(self) -> dict:
-        """Consistent ``{count, mean_ms, p50_ms, p95_ms, p99_ms, max_ms}`` view."""
+        """Consistent ``{count, mean_ms, p50/p95/p99/p999_ms, max_ms}`` view.
+
+        ``p999_ms`` is the farm's SLO percentile: over a bounded reservoir it
+        is exact for replay windows up to ``max_samples`` requests, which is
+        why the burst benchmark sizes its trace under the reservoir.
+        """
         with self._lock:
             ordered = sorted(self._samples)
             count, total = self._count, self._total
@@ -64,6 +69,7 @@ class LatencyRecorder:
             "p50_ms": self._percentile(ordered, 0.50) * 1e3,
             "p95_ms": self._percentile(ordered, 0.95) * 1e3,
             "p99_ms": self._percentile(ordered, 0.99) * 1e3,
+            "p999_ms": self._percentile(ordered, 0.999) * 1e3,
             "max_ms": (ordered[-1] * 1e3) if ordered else 0.0,
         }
 
@@ -119,4 +125,125 @@ class ServiceStats:
             "store_entries": self.store_entries,
             "latency": dict(self.latency),
             "shards": [dict(s) for s in self.shards],
+        }
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """One priority lane's ledger inside a :class:`FarmStats` snapshot.
+
+    At quiescence ``submitted == shed + resolved`` and ``resolved ==
+    memory_hits + coalesced + compiled + store_hits + worker_hits +
+    dedup_waits + errors`` — every admitted request resolves through exactly
+    one of those outcomes (asserted by the farm tests).
+    """
+
+    lane: str = ""
+    limit: int = 0
+    submitted: int = 0
+    shed: int = 0
+    resolved: int = 0
+    pending: int = 0
+    errors: int = 0
+    #: supervisor memory tier answered without touching a worker
+    memory_hits: int = 0
+    #: piggybacked on an identical in-flight ticket (supervisor-side dedup)
+    coalesced: int = 0
+    #: a worker compiled the kernel fresh (claims make this exactly-once)
+    compiled: int = 0
+    #: a worker answered from the shared durable store
+    store_hits: int = 0
+    #: a worker answered from its own process-local memory tier
+    worker_hits: int = 0
+    #: a worker waited out another process's claim, then read the store
+    dedup_waits: int = 0
+    latency: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of resolutions served without a fresh compilation."""
+        served = self.resolved - self.errors
+        hits = (self.memory_hits + self.coalesced + self.store_hits
+                + self.worker_hits + self.dedup_waits)
+        return (hits / served) if served else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "lane": self.lane,
+            "limit": self.limit,
+            "submitted": self.submitted,
+            "shed": self.shed,
+            "resolved": self.resolved,
+            "pending": self.pending,
+            "errors": self.errors,
+            "memory_hits": self.memory_hits,
+            "coalesced": self.coalesced,
+            "compiled": self.compiled,
+            "store_hits": self.store_hits,
+            "worker_hits": self.worker_hits,
+            "dedup_waits": self.dedup_waits,
+            "hit_rate": self.hit_rate,
+            "latency": dict(self.latency),
+        }
+
+
+@dataclass(frozen=True)
+class FarmStats:
+    """Snapshot of one :class:`~repro.serve.farm.CompileFarm`.
+
+    The farm-wide invariants (exact at quiescence, chaos included):
+
+    * ``submitted == shed + resolved`` — no request is ever lost: it is
+      either shed at admission (resolving with a typed ``Rejected``) or
+      resolved exactly once, surviving worker kills via re-drive;
+    * ``double_compiled == 0`` — no distinct kernel reports more than one
+      fresh compilation across every worker process (claim files +
+      store-before-done ordering);
+    * ``executions >= resolved`` — a re-driven ticket may execute on more
+      than one worker, but only the first outcome resolves it.
+    """
+
+    workers: int = 0
+    alive: int = 0
+    submitted: int = 0
+    shed: int = 0
+    resolved: int = 0
+    errors: int = 0
+    compiled: int = 0
+    executions: int = 0
+    redriven: int = 0
+    restarts: int = 0
+    warmed: int = 0
+    double_compiled: int = 0
+    store: dict = field(default_factory=dict)
+    lanes: tuple = ()
+
+    def lane(self, name: str) -> LaneStats:
+        for lane in self.lanes:
+            if lane.lane == name:
+                return lane
+        raise KeyError(name)
+
+    @property
+    def lost(self) -> int:
+        """Admitted-but-unresolved requests; 0 at quiescence, or a bug."""
+        return self.submitted - self.shed - self.resolved
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "alive": self.alive,
+            "submitted": self.submitted,
+            "shed": self.shed,
+            "resolved": self.resolved,
+            "lost": self.lost,
+            "errors": self.errors,
+            "compiled": self.compiled,
+            "executions": self.executions,
+            "redriven": self.redriven,
+            "restarts": self.restarts,
+            "warmed": self.warmed,
+            "double_compiled": self.double_compiled,
+            "store": dict(self.store),
+            "lanes": {lane.lane: lane.as_dict() for lane in self.lanes},
         }

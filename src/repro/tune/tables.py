@@ -53,8 +53,16 @@ class TuningTable:
 
     def put(self, app: str, device: str, config: Mapping, *,
             time_ms: float = 0.0, measured: bool = False,
-            source: str = "search") -> str:
-        """Record one winner; returns the row key."""
+            source: str = "search", version: str | None = None) -> str:
+        """Record one winner; returns the row key.
+
+        Rows are stamped with the package ``version`` that produced them
+        (override only to write test fixtures): service/farm warming skips
+        rows from a different release, so a stale table can never pre-fill
+        caches with winners the current model would not pick.
+        """
+        from .. import __version__
+
         signature = problem_signature(config)
         key = self._key(device, app, signature)
         self.cache.put(key, {
@@ -65,6 +73,7 @@ class TuningTable:
             "time_ms": float(time_ms),
             "measured": bool(measured),
             "source": source,
+            "version": __version__ if version is None else version,
         })
         return key
 

@@ -209,3 +209,34 @@ def test_result_cache_prune_keeps_unsalted_entries():
     removed = cache.prune(lambda key, entry: "salt" not in entry or entry["salt"] == "new")
     assert removed == 1
     assert cache.get("foreign") is not None and cache.get("stranded") is None
+
+
+def test_result_cache_reload_merges_foreign_saves(tmp_path):
+    """reload() picks up sibling writers without dropping local dirty puts."""
+    path = tmp_path / "shared.json"
+    ours = ResultCache(path)
+    ours.put("local", {"time_seconds": 1.0})
+    theirs = ResultCache(path)
+    theirs.put("foreign", {"time_seconds": 2.0})
+    theirs.save()
+    assert ours.reload() is True
+    assert ours.get("foreign") == {"time_seconds": 2.0}
+    # the dirty local entry survived the merge and wins any key conflict
+    assert ours.get("local") == {"time_seconds": 1.0}
+    theirs.put("local", {"time_seconds": 99.0})
+    theirs.save()
+    assert ours.reload() is True
+    assert ours.get("local") == {"time_seconds": 1.0}, "a reload dropped a dirty put"
+    ours.save()
+    assert ResultCache(path).get("local") == {"time_seconds": 1.0}
+
+
+def test_result_cache_reload_flags_truncated_store(tmp_path):
+    path = tmp_path / "store.json"
+    cache = ResultCache(path)
+    cache.put("k", {"time_seconds": 1.0})
+    cache.save()
+    path.write_text('{"k": {"time_')  # a non-atomic foreign writer truncated it
+    assert cache.reload() is False
+    assert cache.corrupt_reset is True
+    assert cache.get("k") is not None, "local state must survive a bad reload"

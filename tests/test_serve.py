@@ -335,3 +335,28 @@ def test_cli_replay_reports_warm_second_pass(tmp_path, capsys):
     assert out.exists()
     printed = capsys.readouterr().out
     assert '"requests_per_second"' in printed
+
+
+def test_service_stats_latency_includes_p999():
+    with CompileService(workers=2) as service:
+        service.compile(CompileRequest("matmul", {"variant": "nn"}))
+        latency = service.stats().latency
+    assert {"p50_ms", "p95_ms", "p99_ms", "p999_ms"} <= set(latency)
+    assert latency["p999_ms"] >= latency["p99_ms"] >= latency["p50_ms"] >= 0.0
+
+
+def test_warm_from_table_skips_stale_version_rows(tmp_path):
+    """Rows stamped by a different release warm nothing at the service tier."""
+    from repro.cache import ResultCache
+    from repro.serve import warm_from_table
+    from repro.serve.service import table_requests
+    from repro.tune.tables import TuningTable
+
+    table = TuningTable(ResultCache(tmp_path / "stale.json"))
+    table.put("matmul", "devA", {"variant": "nn"}, version="0.0.0")
+    table.put("matmul", "devB", {"variant": "tn"})  # current release
+    requests = table_requests(table)
+    assert [r.config["variant"] for r in requests] == ["tn"]
+    with CompileService(workers=1) as service:
+        assert warm_from_table(service, table) == 1
+        assert service.stats().compiled == 1
