@@ -1,0 +1,41 @@
+"""Range-analysis smoke benchmark (thin wrapper over ``repro.symbolic.bench``).
+
+The gates live in :mod:`repro.symbolic.bench` so they are importable from the
+package (the ``range-smoke`` CI job runs ``python -m repro.symbolic.bench``);
+this wrapper makes the same gates runnable under pytest and as a standalone
+script from the ``benchmarks/`` directory.
+"""
+
+import json
+from pathlib import Path
+
+from repro.symbolic.bench import run
+
+
+def check_report(report: dict) -> None:
+    lud = report["lud_bijectivity"]
+    assert lud["all_static"], (
+        f"{len(lud['fallbacks'])} of {lud['shapes']} LUD kernel shapes fell "
+        f"back from the static bijectivity proof: {lud['fallbacks']}"
+    )
+    assert lud["cross_checked"] > 0, "no shape was cross-checked by enumeration"
+    assert lud["within_budget"], (
+        f"generating {lud['shapes']} shapes took {lud['generation_seconds']:.2f}s, "
+        f"over the {lud['budget_seconds']:.0f}s budget"
+    )
+    guards = report["guard_elimination"]
+    assert guards["nw_ok"], "no NW wavefront guard was eliminated"
+    assert guards["stencil_ok"], "no stencil interior guard was eliminated"
+
+
+def test_range_bench():
+    check_report(run())
+
+
+if __name__ == "__main__":
+    artifact = Path(__file__).resolve().parent.parent / "BENCH_symbolic.json"
+    report = run()
+    check_report(report)
+    artifact.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {artifact}")

@@ -20,11 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..codegen import CodegenContext, CudaKernel, generate_cuda_kernel
+from ..codegen import CodegenContext, CudaKernel, generate_cuda_kernel, note_fallback, note_static_proof
 from ..core import GroupBy, Row
 from ..gpusim import A100_80GB, DeviceSpec, KernelCost, cost_features, estimate_time
 from ..minicuda import GlobalArray, launch
-from ..symbolic import Var
+from ..symbolic import Var, affine_strides, is_mixed_radix_bijection
 
 __all__ = [
     "LudConfig",
@@ -38,6 +38,8 @@ __all__ = [
     "lud_perf_case",
     "run_lud_internal",
     "check_element_offsets",
+    "prove_element_offset_bijection",
+    "assert_element_offset_bijection",
     "lud_performance",
     "lud_performance_vectorized",
     "lud_configurations",
@@ -121,6 +123,7 @@ def generate_lud_internal_kernel(config: LudConfig) -> CudaKernel:
     ctx.index(tx, config.cuda_block)
     ctx.index(ty, config.cuda_block)
     ctx.bind("element_offset", layout.apply(r_i, r_j, ty, tx))
+    ctx.require_in_bounds("element_offset", 0, config.block * config.block - 1)
     template = LUD_INTERNAL_TEMPLATE.format(B=config.block, R=coarsening)
     return generate_cuda_kernel(f"lud_internal_b{config.block}", template, ctx)
 
@@ -207,6 +210,57 @@ def check_element_offsets(kernel, config: LudConfig) -> None:
         )
 
 
+def prove_element_offset_bijection(kernel, config: LudConfig) -> bool | None:
+    """Statically decide whether ``element_offset`` is a bijection onto the block.
+
+    Decomposes the lowered expression into ``const + Σ stride · index`` over
+    the coarsened-layout coordinates and checks that the strides form a
+    permuted mixed-radix basis for the ``B x B`` extent
+    (:func:`~repro.symbolic.is_mixed_radix_bijection`).  Returns ``True`` /
+    ``False`` on a definitive structural verdict and ``None`` when the
+    expression is not affine in the thread coordinates (e.g. a swizzled
+    layout lowered through ``%``), in which case the caller must fall back
+    to runtime enumeration.
+    """
+    binding = kernel.bindings.get("element_offset")
+    if binding is None:
+        raise ValueError(f"kernel {kernel.name!r} has no element_offset binding to check")
+    t, r, b = config.cuda_block, config.coarsening, config.block
+    extents = {"r_i": r, "r_j": r, "ty": t, "tx": t}
+    decomposed = affine_strides(binding.expr, tuple(extents))
+    if decomposed is None:
+        return None
+    const, strides = decomposed
+    pairs = [(strides.get(name, 0), extent) for name, extent in extents.items()]
+    return is_mixed_radix_bijection(const, pairs, b * b)
+
+
+def assert_element_offset_bijection(kernel, config: LudConfig) -> str:
+    """Discharge the bijectivity obligation, statically when possible.
+
+    The static mixed-radix proof covers every affine coarsening layout — the
+    entire tuned LUD search space — so the hot path (one call per generated
+    configuration during search and verification) no longer enumerates
+    ``B^2`` index combinations.  Non-affine layouts fall back to the
+    enumeration check, which stays as the test-only cross-check as well.
+    Returns ``"static"`` or ``"enumerated"``; raises ``ValueError`` when the
+    layout provably skips or doubles an element.
+    """
+    verdict = prove_element_offset_bijection(kernel, config)
+    if verdict is None:
+        note_fallback()
+        check_element_offsets(kernel, config)
+        return "enumerated"
+    note_static_proof()
+    if not verdict:
+        b = config.block
+        raise ValueError(
+            f"element_offset of {kernel.name!r} is not a bijection onto the "
+            f"{b}x{b} block: strides are not a permuted mixed-radix basis"
+        )
+    return "static"
+
+
 def lud_check_reference(config, inputs) -> np.ndarray:
     """Ground truth: unblocked Doolittle factors, packed like the Rodinia output."""
     lower, upper = lud_reference(inputs["matrix"])
@@ -219,7 +273,9 @@ def lud_check_case(config, rng):
     Two checks ride in one case: the blocked factorisation (the Rodinia
     kernel-structure mirror) must match the unblocked reference, and the
     generated coarsened-thread-layout expression must enumerate the block
-    bijectively (:func:`check_element_offsets`).  The matrix is made
+    bijectively — discharged statically by the mixed-radix stride proof
+    (:func:`assert_element_offset_bijection`), with the old runtime
+    enumeration kept only as the non-affine fallback.  The matrix is made
     diagonally dominant so the factorisation is well-conditioned.
     """
     from .registry import CheckCase
@@ -233,7 +289,7 @@ def lud_check_case(config, rng):
         if kernel is not None and kernel.bindings:
             # cache-restored kernels carry no live expression nodes; the
             # blocked-vs-reference factorisation check below still applies
-            check_element_offsets(kernel, cfg)
+            assert_element_offset_bijection(kernel, cfg)
         return lud_blocked(matrix, cfg.block), None
 
     return CheckCase(

@@ -22,14 +22,16 @@ This module reproduces both sides:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..codegen import generate_accessor_wrapper
+from ..codegen import generate_accessor_wrapper, prove_guard_redundant
 from ..core import GroupBy, RegP, GenP, antidiagonal
 from ..gpusim import A100_80GB, DeviceSpec, estimate_time
 from ..minicuda import CudaTrace, GlobalArray, launch, trace_to_cost
+from ..symbolic import BoolAnd, SymbolicEnv, as_expr
 
 __all__ = [
     "NwConfig",
@@ -41,6 +43,7 @@ __all__ = [
     "nw_check_reference",
     "nw_check_case",
     "nw_perf_case",
+    "nw_wave_span",
     "run_nw_blocked",
     "generate_nw_wrapper",
     "nw_performance",
@@ -199,17 +202,52 @@ def nw_perf_case(config, rng):
     )
 
 
+def nw_wave_span(wave: int, block_count: int) -> tuple[int, int]:
+    """Inclusive ``blockIdx.x`` range of the live blocks on anti-diagonal ``wave``.
+
+    Wave ``w`` holds the blocks with ``bx + by == w``, so ``bx`` runs over
+    ``[max(0, w - bc + 1), min(w, bc - 1)]`` — exactly ``blocks_on_wave``
+    values.  This is the span the guard-eliminated launch enumerates
+    directly instead of masking a full ``bc``-wide grid.
+    """
+    return max(0, wave - block_count + 1), min(wave, block_count - 1)
+
+
+@functools.lru_cache(maxsize=None)
+def _prove_wave_guard(wave: int, block_count: int) -> bool:
+    """Prove the wavefront guard redundant for the offset compact launch.
+
+    Builds the launch symbolically — ``bx = bxw + lo`` for a grid index
+    ``bxw`` over the wave's span — and asks the stride-aware prover to
+    discharge the kernel's guard predicate
+    ``0 <= by < bc and 0 <= bx < bc`` (with ``by = wave - bx``) for every
+    grid point.  A ``True`` verdict licenses launching the unguarded kernel.
+    """
+    lo, hi = nw_wave_span(wave, block_count)
+    count = hi - lo + 1
+    if count < 1:
+        return False
+    env = SymbolicEnv()
+    bxw = env.declare_index("bxw", count)
+    bx = bxw + lo
+    by = as_expr(wave) - bx
+    predicate = BoolAnd(by.ge(0), by.lt(block_count), bx.ge(0), bx.lt(block_count))
+    return prove_guard_redundant(predicate, env, kernel="nw_wave")
+
+
 def _nw_block_kernel(ctx, score: GlobalArray, reference: GlobalArray, config: NwConfig,
-                     wave: int, layout, block_count: int):
+                     wave: int, layout, block_count: int, bx_offset: int = 0,
+                     guarded: bool = True):
     """Process one block on the current wavefront (one thread per column)."""
     b = config.block
     # blocks on wave w: block_x + block_y == w
-    bx = ctx.blockIdx.x
+    bx = ctx.blockIdx.x + bx_offset
     by = wave - bx
-    ctx = ctx.where_blocks((by >= 0) & (by < block_count) & (bx < block_count))
-    if ctx is None:
-        return
-    bx = ctx.blockIdx.x
+    if guarded:
+        ctx = ctx.where_blocks((by >= 0) & (by < block_count) & (bx < block_count))
+        if ctx is None:
+            return
+    bx = ctx.blockIdx.x + bx_offset
     by = wave - bx
     base_i = by * b
     base_j = bx * b
@@ -254,6 +292,7 @@ def run_nw_blocked(
     config: NwConfig,
     layout: GroupBy | None = None,
     device: DeviceSpec | None = None,
+    eliminate_guards: bool = True,
 ) -> tuple[np.ndarray, CudaTrace]:
     """Run the blocked NW kernel over all wavefronts on the mini-CUDA substrate.
 
@@ -261,6 +300,12 @@ def run_nw_blocked(
     (which carries the shared-memory conflict profile that distinguishes the
     two layouts).  ``device`` sets the warp width / sector granularity the
     trace records at.
+
+    With ``eliminate_guards`` (the default) each wave launches only its live
+    span of blocks — grid ``(blocks_on_wave, 1)`` offset to the wave's first
+    ``blockIdx.x`` — and the kernel's wavefront mask is dropped, provided the
+    range prover discharges the guard predicate for that launch shape
+    (:func:`_prove_wave_guard`).  Unproven shapes keep the full guarded grid.
     """
     n, b = config.n, config.block
     score = np.zeros((n + 1, n + 1), dtype=np.int32)
@@ -274,11 +319,16 @@ def run_nw_blocked(
     block_count = config.num_blocks
     for wave in range(2 * block_count - 1):
         blocks_on_wave = min(wave + 1, block_count, 2 * block_count - 1 - wave)
+        lo, hi = nw_wave_span(wave, block_count)
+        if eliminate_guards and _prove_wave_guard(wave, block_count):
+            grid, bx_offset, guarded = (hi - lo + 1, 1), lo, False
+        else:
+            grid, bx_offset, guarded = (block_count, 1), 0, True
         trace = launch(
             _nw_block_kernel,
-            grid=(block_count, 1),
+            grid=grid,
             block=(b, 1),
-            args=(score_buf, ref_buf, config, wave, layout, block_count),
+            args=(score_buf, ref_buf, config, wave, layout, block_count, bx_offset, guarded),
             device=device,
         )
         merged.sector_bytes = trace.sector_bytes

@@ -19,13 +19,16 @@ do not survive in cache at realistic grid sizes).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..codegen import prove_guard_redundant
 from ..core import GroupBy, RegP, Row, TileBy
 from ..gpusim import A100_80GB, DeviceSpec, KernelCost, estimate_time
 from ..minicuda import GlobalArray, launch
+from ..symbolic import BoolAnd, SymbolicEnv
 
 __all__ = [
     "STENCILS",
@@ -36,6 +39,7 @@ __all__ = [
     "stencil_check_reference",
     "stencil_check_case",
     "stencil_perf_case",
+    "interior_block_span",
     "run_stencil",
     "stencil_cost",
     "stencil_performance",
@@ -204,10 +208,83 @@ def stencil_reference(grid: np.ndarray, spec: StencilSpec) -> np.ndarray:
     return out
 
 
-def _stencil_kernel(ctx, src: GlobalArray, dst: GlobalArray, n: int, spec: StencilSpec, brick: int):
-    """One thread block updates one ``brick^3`` subdomain (interior only)."""
+def interior_block_span(n: int, brick: int, radius: int) -> tuple[int, int] | None:
+    """Inclusive per-axis block range whose every thread is an interior cell.
+
+    Block ``b`` covers cells ``[b*brick, (b+1)*brick)``, so all of its
+    threads are interior along an axis exactly when
+    ``b >= ceil(radius / brick)`` and ``(b+1)*brick <= n - radius``.
+    Returns ``None`` when no fully interior block exists (tiny grids).
+    """
+    lo = -(-radius // brick)
+    hi = (n - radius - brick) // brick
+    if lo > hi:
+        return None
+    return lo, hi
+
+
+@functools.lru_cache(maxsize=None)
+def _prove_interior_span(n: int, brick: int, radius: int) -> bool:
+    """Prove the interior mask redundant for blocks inside the span.
+
+    Models one axis symbolically — block coordinate ``b`` over the span,
+    thread coordinate ``t`` over the brick — and asks the range prover to
+    discharge ``radius <= b*brick + t < n - radius``.  The grid and brick
+    are cubic, so one axis proof covers all three.
+    """
+    span = interior_block_span(n, brick, radius)
+    if span is None:
+        return False
+    env = SymbolicEnv()
+    t = env.declare_index("t", brick)
+    b = env.declare_range("b", span[0], span[1])
+    i = b * brick + t
+    predicate = BoolAnd(i.ge(radius), i.lt(n - radius))
+    return prove_guard_redundant(predicate, env, kernel="stencil_interior")
+
+
+def _stencil_update(ctx, src: GlobalArray, dst: GlobalArray, spec: StencilSpec,
+                    ii, jj, kk, lanes: int):
+    """Accumulate the stencil at ``(ii, jj, kk)`` and write the result back."""
+    offsets = stencil_offsets(spec)
+    weight = 1.0 / len(offsets)
+    acc = np.zeros(np.shape(ii), dtype=np.float32)
+    for dz, dy, dx in offsets:
+        acc += src.load(ctx, ii + dz, jj + dy, kk + dx)
+    ctx.count_flops(len(offsets) * lanes)
+    dst.store(ctx, acc * weight, ii, jj, kk)
+
+
+def _stencil_kernel(ctx, src: GlobalArray, dst: GlobalArray, n: int, spec: StencilSpec,
+                    brick: int, interior_span: tuple[int, int] | None = None):
+    """One thread block updates one ``brick^3`` subdomain (interior only).
+
+    With ``interior_span`` (set by :func:`run_stencil` once the range prover
+    has discharged the interior predicate) the blocks whose coordinates lie
+    inside the span skip the per-thread interior mask and the
+    ``compact_threads`` compression entirely; only boundary blocks keep the
+    guarded path.
+    """
     r = spec.radius
     bx, by, bz = ctx.blockIdx.x, ctx.blockIdx.y, ctx.blockIdx.z
+    if interior_span is not None:
+        blo, bhi = interior_span
+        inside = (
+            (bx >= blo) & (bx <= bhi)
+            & (by >= blo) & (by <= bhi)
+            & (bz >= blo) & (bz <= bhi)
+        )
+        ictx = ctx.where_blocks(inside)
+        if ictx is not None:
+            # proven in-bounds: every thread updates its cell unguarded
+            ii = ictx.blockIdx.z * brick + ictx.tz
+            jj = ictx.blockIdx.y * brick + ictx.ty
+            kk = ictx.blockIdx.x * brick + ictx.tx
+            _stencil_update(ictx, src, dst, spec, ii, jj, kk, ictx.num_threads)
+        ctx = ctx.where_blocks(~np.asarray(inside, dtype=bool))
+        if ctx is None:
+            return
+        bx, by, bz = ctx.blockIdx.x, ctx.blockIdx.y, ctx.blockIdx.z
     # per-thread coordinates inside the brick (block is brick x brick x brick)
     i = bz * brick + ctx.tz
     j = by * brick + ctx.ty
@@ -217,13 +294,7 @@ def _stencil_kernel(ctx, src: GlobalArray, dst: GlobalArray, n: int, spec: Stenc
     if ctx is None:
         return
     ii, jj, kk = ctx.compact(i), ctx.compact(j), ctx.compact(k)
-    offsets = stencil_offsets(spec)
-    weight = 1.0 / len(offsets)
-    acc = np.zeros(ii.shape, dtype=np.float32)
-    for dz, dy, dx in offsets:
-        acc += src.load(ctx, ii + dz, jj + dy, kk + dx)
-    ctx.count_flops(len(offsets) * ii.size)
-    dst.store(ctx, acc * weight, ii, jj, kk)
+    _stencil_update(ctx, src, dst, spec, ii, jj, kk, ii.size)
 
 
 def run_stencil(
@@ -232,6 +303,7 @@ def run_stencil(
     layout: GroupBy | None = None,
     brick: int = 4,
     device: DeviceSpec | None = None,
+    eliminate_guards: bool = True,
 ):
     """Run the stencil kernel on the mini-CUDA substrate with the given layout.
 
@@ -239,16 +311,25 @@ def run_stencil(
     :func:`stencil_reference` regardless of the layout — only the physical
     placement (and hence the traffic pattern) changes.  ``device`` sets the
     warp width / sector granularity the trace records at.
+
+    With ``eliminate_guards`` (the default) the fully interior blocks —
+    those in :func:`interior_block_span` along every axis — execute without
+    the per-thread interior mask, provided the range prover discharges the
+    interior predicate for this ``(n, brick, radius)`` shape; boundary
+    blocks keep the guarded ``compact_threads`` path.
     """
     n = grid.shape[0]
     src = GlobalArray(grid.astype(np.float32), layout=layout, name="src")
     dst = GlobalArray(grid.astype(np.float32), layout=layout, name="dst")
     blocks = n // brick
+    interior_span = None
+    if eliminate_guards and _prove_interior_span(n, brick, spec.radius):
+        interior_span = interior_block_span(n, brick, spec.radius)
     trace = launch(
         _stencil_kernel,
         grid=(blocks, blocks, blocks),
         block=(brick, brick, brick),
-        args=(src, dst, n, spec, brick),
+        args=(src, dst, n, spec, brick, interior_span),
         device=device,
     )
     return dst.to_numpy(), trace

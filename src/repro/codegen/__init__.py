@@ -10,6 +10,10 @@
   wrappers over the registry kept for existing call sites,
 * :func:`generate_accessor_wrapper` — CUDA accessor-struct emission for
   layouts applied per-access (the NW integration style),
+* :func:`prove_guard_redundant` / :func:`discharge_in_bounds` — static guard
+  elimination on top of the stride-aware range analysis; obligations are
+  registered via :meth:`CodegenContext.require_in_bounds` and surfaced as
+  ``GeneratedKernel.proven_bounds``,
 * :class:`GenerationReport`, :func:`time_generation`,
   :func:`compare_expansion_strategies` — the latency / op-count reporting used
   by Tables III and IV.
@@ -21,6 +25,12 @@ optional at import time.
 
 from .template import TemplateError, extract_placeholders, render_template
 from .context import CodegenContext, LoweredBinding, lower_expression
+from .guards import (
+    discharge_in_bounds,
+    note_fallback,
+    note_static_proof,
+    prove_guard_redundant,
+)
 from .backend import (
     Backend,
     GeneratedKernel,
@@ -40,6 +50,10 @@ __all__ = [
     "CodegenContext",
     "LoweredBinding",
     "lower_expression",
+    "prove_guard_redundant",
+    "discharge_in_bounds",
+    "note_static_proof",
+    "note_fallback",
     "Backend",
     "GeneratedKernel",
     "TemplateBackend",

@@ -56,6 +56,10 @@ class GeneratedKernel:
     bindings: dict[str, LoweredBinding] = field(default_factory=dict)
     backend: str = ""
     generation_seconds: float = 0.0
+    #: verdicts of the context's ``require_in_bounds`` obligations: binding
+    #: name -> True when the access was proven in-bounds statically.  Launch
+    #: code consults this to drop runtime bounds guards.
+    proven_bounds: dict[str, bool] = field(default_factory=dict)
 
     def binding_ops(self, weights: CostWeights | None = None) -> int:
         """Total arithmetic operations across the generated index expressions."""
@@ -174,6 +178,7 @@ class TemplateBackend(Backend):
             bindings=lowered,
             backend=self.name,
             generation_seconds=context.generation_seconds or 0.0,
+            proven_bounds=dict(context.proven_bounds),
             **self.kernel_kwargs(dict(options)),
         )
 

@@ -101,6 +101,10 @@ class CodegenContext:
         self.last_cache_stats: dict[str, object] = {}
         self._lowered: dict[str, LoweredBinding] | None = None
         self._lowered_key: tuple | None = None
+        #: access-in-bounds obligations: binding name -> (lo, hi), inclusive
+        self._obligations: dict[str, tuple[Expr, Expr]] = {}
+        #: obligation verdicts from the last :meth:`lower`: name -> bool
+        self.proven_bounds: dict[str, bool] = {}
 
     # -- symbol declarations -----------------------------------------------------
 
@@ -143,6 +147,16 @@ class CodegenContext:
         for name, value in values.items():
             self.bind(name, value)
 
+    def require_in_bounds(self, name: str, lo, hi) -> None:
+        """Register the obligation ``lo <= binding <= hi`` (inclusive).
+
+        Obligations are discharged during :meth:`lower`: each is handed to the
+        stride-aware prover and the verdict recorded in :attr:`proven_bounds`.
+        Backends surface the verdicts on the generated kernel so launch code
+        can drop bounds guards for statically proven accesses.
+        """
+        self._obligations[name] = (as_expr(lo), as_expr(hi))
+
     def bind_inverse(self, names: Sequence[str], layout, flat_expr) -> None:
         """Bind the components of ``layout.inv(flat_expr)`` to ``names``."""
         coords = layout.inv(as_expr(flat_expr))
@@ -169,6 +183,7 @@ class CodegenContext:
                 binding_ids.append((name, id(value)))
         return (
             tuple(binding_ids),
+            tuple((name, lo._id, hi._id) for name, (lo, hi) in self._obligations.items()),
             tuple(sorted(self._substitutions.items())),
             self.pre_expand,
             weights,
@@ -199,6 +214,8 @@ class CodegenContext:
         with span("codegen.lower", "codegen", kernel=self.name, bindings=len(self._bindings)):
             for name, value in self._bindings.items():
                 lowered[name] = self._lower_one(name, value, weights)
+            if self._obligations:
+                self.proven_bounds = self._discharge_obligations(lowered)
         self.generation_seconds = time.perf_counter() - started
         self.last_cache_stats = CACHE_STATS.delta(stats_before, CACHE_STATS.snapshot())
         self._lowered = lowered
@@ -206,6 +223,20 @@ class CodegenContext:
         # the first pass, and the key must reflect the settled environment.
         self._lowered_key = self._lowering_key(weights)
         return lowered
+
+    def _discharge_obligations(self, lowered: Mapping[str, LoweredBinding]) -> dict[str, bool]:
+        """Discharge every registered in-bounds obligation against ``lowered``."""
+        from .guards import discharge_in_bounds
+
+        verdicts: dict[str, bool] = {}
+        for name, (lo, hi) in self._obligations.items():
+            binding = lowered.get(name)
+            if binding is None:
+                raise KeyError(f"in-bounds obligation on unbound name {name!r}")
+            verdicts[name] = discharge_in_bounds(
+                binding.expr, lo, hi, self.env, kernel=self.name
+            )
+        return verdicts
 
     def _lower_one(self, name: str, value, weights: CostWeights | None = None) -> LoweredBinding:
         weights = weights or self.weights

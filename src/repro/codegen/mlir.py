@@ -156,6 +156,7 @@ class MlirBackend(Backend):
             bindings=lowered,
             backend=self.name,
             generation_seconds=context.generation_seconds or 0.0,
+            proven_bounds=dict(context.proven_bounds),
             module=module,
             kernel_names=tuple(kernel_names),
         )

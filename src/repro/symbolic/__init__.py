@@ -7,7 +7,12 @@ Public surface of the engine used throughout the LEGO reproduction:
 * assumptions — :class:`SymbolicEnv`, :class:`SymInterval`;
 * simplification — :func:`simplify`, :func:`simplify_fixpoint`, :func:`expand`
   (the paper's Table II rules with range-proved side conditions);
-* proofs — :func:`prove_le`, :func:`prove_lt`, :func:`brute_force_check`;
+* proofs — :func:`prove_le`, :func:`prove_lt`, :func:`prove_in_bounds`,
+  :func:`brute_force_check`;
+* stride-aware ranges — :class:`IndexRange`, :func:`index_range`,
+  :func:`affine_strides`, :func:`is_mixed_radix_bijection` (the Exo-style
+  base + constant-bounds + stride analysis behind guard elimination and
+  static layout-bijectivity proofs);
 * cost model — :func:`operation_count`, :func:`choose_cheapest`;
 * printers — :class:`PythonPrinter`, :class:`TritonPrinter`, :class:`CPrinter`,
   :class:`MLIRArithPrinter`;
@@ -37,17 +42,26 @@ from .expr import (
 )
 from .ranges import Interval, RangeEnv
 from .stats import CACHE_STATS, CacheCounters, cache_statistics, reset_cache_statistics
-from .symranges import SymInterval, SymbolicEnv
+from .symranges import EnvCaches, SymInterval, SymbolicEnv
+from .indexrange import (
+    IndexRange,
+    affine_strides,
+    constant_interval,
+    index_range,
+    is_mixed_radix_bijection,
+)
 from .prover import (
     brute_force_check,
     is_nonneg,
     is_nonzero,
     is_positive,
     prove,
+    prove_in_bounds,
     prove_le,
     prove_lt,
     prove_nonneg,
     prove_positive,
+    record_proof_queries,
 )
 from .simplify import (
     RULE_REGISTRY,
@@ -79,15 +93,23 @@ __all__ = [
     "symbols",
     "Interval",
     "RangeEnv",
+    "EnvCaches",
     "SymInterval",
     "SymbolicEnv",
+    "IndexRange",
+    "index_range",
+    "constant_interval",
+    "affine_strides",
+    "is_mixed_radix_bijection",
     "brute_force_check",
     "is_nonneg",
     "is_nonzero",
     "is_positive",
     "prove",
+    "prove_in_bounds",
     "prove_le",
     "prove_lt",
+    "record_proof_queries",
     "prove_nonneg",
     "prove_positive",
     "expand",

@@ -1,0 +1,387 @@
+"""Stride-aware index-range analysis over the interned expression IR.
+
+The Exo compiler's ``range_analysis.py`` tracks, per index expression, a
+*symbolic base* plus *constant bounds* — ``expr ∈ base + [lo, hi]`` — and a
+per-symbol stride query.  This module ports that idiom onto the
+reproduction's :class:`~repro.symbolic.ranges.Interval` / assumption-env
+stack and adds the two consumers the layout pipeline needs:
+
+* **constant-bounds proving** — an :class:`IndexRange` whose base is zero
+  carries exact integer bounds even through negative coefficients and
+  div/mod folding, which the purely symbolic :meth:`SymbolicEnv.range_of`
+  widens to top.  The prover uses this to discharge ``lhs <= rhs`` on the
+  access-in-bounds obligations of guard elimination.
+* **stride extraction** — :func:`affine_strides` decomposes an expression
+  into ``const + Σ coeff_v · v`` exactly; layouts whose flattened offset is
+  affine in their index symbols can then be proven bijective *statically*
+  (:func:`is_mixed_radix_bijection`) instead of by runtime enumeration.
+
+Soundness contract: for every assignment of the free variables consistent
+with the environment, ``expr - base`` evaluates into ``[lo, hi]``.  When a
+sub-expression resists the analysis it becomes its *own* base with bounds
+``[0, 0]`` — exact, so enclosing additions still cancel against it.
+
+Results of the env-dependent entry point (:func:`index_range`) are memoised
+in the environment's unified cache (``env.caches.indexrange``), which shares
+one invalidation epoch with the simplify/proof/range families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from .expr import (
+    Add,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Const,
+    Expr,
+    ExprLike,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Var,
+    as_expr,
+)
+from .ranges import Interval
+from .stats import CACHE_STATS
+from .symranges import SymbolicEnv
+
+__all__ = [
+    "IndexRange",
+    "index_range",
+    "constant_interval",
+    "affine_strides",
+    "is_mixed_radix_bijection",
+]
+
+_ZERO = None  # initialised lazily; Const(0) at import time is fine too
+
+
+def _zero() -> Expr:
+    global _ZERO
+    if _ZERO is None:
+        _ZERO = Const(0)
+    return _ZERO
+
+
+@dataclass(frozen=True)
+class IndexRange:
+    """``expr ∈ base + [lo, hi]`` with per-variable strides of the base.
+
+    ``base`` is the symbolic part the analysis could not (or was told not
+    to) fold into constant bounds; ``Const(0)`` when the expression is fully
+    constant-bounded.  ``strides`` maps variable names to their integer
+    coefficients in ``base`` when the base is an exact affine combination of
+    variables, and is ``None`` when the base contains a residual non-affine
+    node (the stride of any symbol is then unknown).
+    """
+
+    base: Expr
+    interval: Interval
+    strides: Optional[Tuple[Tuple[str, int], ...]] = ()
+
+    @property
+    def lo(self) -> Optional[int]:
+        return self.interval.lo
+
+    @property
+    def hi(self) -> Optional[int]:
+        return self.interval.hi
+
+    def is_constant(self) -> bool:
+        """True when the whole value is covered by the constant interval."""
+        return isinstance(self.base, Const) and self.base.value == 0
+
+    def stride_of(self, name: str) -> Optional[int]:
+        """Coefficient of ``name`` in the base (0 if absent; None if unknown)."""
+        if self.strides is None:
+            return None
+        for var_name, coeff in self.strides:
+            if var_name == name:
+                return coeff
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexRange({self.base!s} + {self.interval!r}, strides={self.strides})"
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def constant(interval: Interval) -> "IndexRange":
+        return IndexRange(_zero(), interval, ())
+
+    @staticmethod
+    def opaque(expr: Expr) -> "IndexRange":
+        """The exact-but-uninformative element: ``expr ∈ expr + [0, 0]``."""
+        return IndexRange(expr, Interval.point(0), None)
+
+    @staticmethod
+    def of_var(var: Var) -> "IndexRange":
+        return IndexRange(var, Interval.point(0), ((var.name, 1),))
+
+
+def _merge_strides(
+    a: Optional[Tuple[Tuple[str, int], ...]],
+    b: Optional[Tuple[Tuple[str, int], ...]],
+) -> Optional[Tuple[Tuple[str, int], ...]]:
+    if a is None or b is None:
+        return None
+    merged: dict[str, int] = dict(a)
+    for name, coeff in b:
+        merged[name] = merged.get(name, 0) + coeff
+    return tuple(sorted((n, c) for n, c in merged.items() if c != 0))
+
+
+def _scale_strides(
+    strides: Optional[Tuple[Tuple[str, int], ...]], factor: int
+) -> Optional[Tuple[Tuple[str, int], ...]]:
+    if strides is None:
+        return None
+    if factor == 0:
+        return ()
+    return tuple((n, c * factor) for n, c in strides)
+
+
+def _add_ranges(a: IndexRange, b: IndexRange) -> IndexRange:
+    return IndexRange(
+        Add(a.base, b.base), a.interval + b.interval, _merge_strides(a.strides, b.strides)
+    )
+
+
+def _scale_range(r: IndexRange, factor: int) -> IndexRange:
+    if factor == 0:
+        return IndexRange.constant(Interval.point(0))
+    return IndexRange(
+        Mul(factor, r.base),
+        r.interval * Interval.point(factor),
+        _scale_strides(r.strides, factor),
+    )
+
+
+def _var_interval(var: Var, env: SymbolicEnv) -> Optional[Interval]:
+    """Constant bounds of a variable, from the env or the var's meta hint."""
+    sym = env.range_of_var(var.name)
+    lo, hi = sym.constant_bounds()
+    if lo is None and hi is None:
+        meta_range = var.meta.get("range")
+        if isinstance(meta_range, Interval):
+            return meta_range
+        if isinstance(meta_range, tuple) and len(meta_range) == 2:
+            if all(v is None or isinstance(v, int) for v in meta_range):
+                return Interval(meta_range[0], meta_range[1])
+        return None
+    # Half-symbolic ranges keep the constant end; the symbolic end widens.
+    if sym.lo is not None and lo is None:
+        lo = None
+    if sym.hi is not None and hi is None:
+        hi = None
+    return Interval(lo, hi)
+
+
+def index_range(expr: ExprLike, env: SymbolicEnv) -> IndexRange:
+    """Stride-aware constant-bounds analysis of ``expr`` (memoised per env).
+
+    Variables with constant bounds in ``env`` fold into the interval;
+    variables without bounds (and sub-expressions the analysis cannot
+    handle) accumulate in the symbolic base.  The result is sound for every
+    assignment consistent with the environment.
+    """
+    expr = as_expr(expr)
+    cache = env.caches.indexrange
+    cached = cache.get(expr._id)
+    if cached is not None:
+        CACHE_STATS.range_hits += 1
+        return cached
+    result = _index_range_impl(expr, env)
+    CACHE_STATS.range_misses += 1
+    cache[expr._id] = result
+    return result
+
+
+def constant_interval(expr: ExprLike, env: SymbolicEnv) -> Optional[Interval]:
+    """The exact-constant interval of ``expr``, or None when the base is
+    non-trivial (some part of the value stayed symbolic)."""
+    r = index_range(expr, env)
+    return r.interval if r.is_constant() else None
+
+
+def _index_range_impl(expr: Expr, env: SymbolicEnv) -> IndexRange:
+    if isinstance(expr, Const):
+        return IndexRange.constant(Interval.point(expr.value))
+    if isinstance(expr, Var):
+        bounds = _var_interval(expr, env)
+        if bounds is None or (bounds.lo is None and bounds.hi is None):
+            # unbounded: keep the variable symbolic so sums can cancel it
+            return IndexRange.of_var(expr)
+        return IndexRange.constant(bounds)
+    if isinstance(expr, Add):
+        out = IndexRange.constant(Interval.point(0))
+        for arg in expr.args:
+            out = _add_ranges(out, index_range(arg, env))
+        return out
+    if isinstance(expr, Mul):
+        coeff = 1
+        rest: list[IndexRange] = []
+        for arg in expr.args:
+            if isinstance(arg, Const):
+                coeff *= arg.value
+            else:
+                rest.append(index_range(arg, env))
+        if not rest:
+            return IndexRange.constant(Interval.point(coeff))
+        constant = [r for r in rest if r.is_constant()]
+        symbolic = [r for r in rest if not r.is_constant()]
+        if not symbolic:
+            product = Interval.point(coeff)
+            for r in constant:
+                product = product * r.interval
+            return IndexRange.constant(product)
+        if len(symbolic) == 1 and all(r.interval.is_point for r in constant):
+            # point-constant factors fold into the integer coefficient
+            for r in constant:
+                coeff *= r.interval.lo  # type: ignore[operator]
+            return _scale_range(symbolic[0], coeff)
+        return IndexRange.opaque(expr)
+    if isinstance(expr, FloorDiv):
+        num = index_range(expr.numerator, env)
+        den = index_range(expr.denominator, env)
+        if num.is_constant() and den.is_constant():
+            return IndexRange.constant(num.interval.floordiv(den.interval))
+        return IndexRange.opaque(expr)
+    if isinstance(expr, Mod):
+        value = index_range(expr.value_expr, env)
+        modulus = index_range(expr.modulus, env)
+        if value.is_constant() and modulus.is_constant():
+            return IndexRange.constant(value.interval.mod(modulus.interval))
+        if modulus.is_constant() and modulus.interval.is_positive():
+            # whatever the value, a positive modulus bounds the result
+            hi = None if modulus.interval.hi is None else modulus.interval.hi - 1
+            return IndexRange.constant(Interval(0, hi))
+        return IndexRange.opaque(expr)
+    if isinstance(expr, Min):
+        parts = [index_range(a, env) for a in expr.args]
+        if all(p.is_constant() for p in parts):
+            out = parts[0].interval
+            for p in parts[1:]:
+                out = out.min(p.interval)
+            return IndexRange.constant(out)
+        return IndexRange.opaque(expr)
+    if isinstance(expr, Max):
+        parts = [index_range(a, env) for a in expr.args]
+        if all(p.is_constant() for p in parts):
+            out = parts[0].interval
+            for p in parts[1:]:
+                out = out.max(p.interval)
+            return IndexRange.constant(out)
+        return IndexRange.opaque(expr)
+    if isinstance(expr, (Cmp, BoolAnd, BoolOr, BoolNot)):
+        return IndexRange.constant(Interval(0, 1))
+    return IndexRange.opaque(expr)
+
+
+# ---------------------------------------------------------------------------
+# exact affine decomposition (env-independent)
+# ---------------------------------------------------------------------------
+
+
+def affine_strides(
+    expr: ExprLike, variables: Sequence[str]
+) -> Optional[Tuple[int, dict]]:
+    """Decompose ``expr`` into ``const + Σ strides[v] · v`` exactly.
+
+    Returns ``(const, {name: stride})`` when the expression is an affine
+    combination of the given variables (and nothing else); ``None`` when any
+    free variable is outside ``variables`` or the structure is non-affine
+    (div/mod/min/max of a variable term).  Purely structural — no
+    environment, no approximation — so a non-``None`` result is an identity.
+    """
+    expr = as_expr(expr)
+    allowed = set(variables)
+
+    def walk(node: Expr) -> Optional[Tuple[int, dict]]:
+        if isinstance(node, Const):
+            return node.value, {}
+        if isinstance(node, Var):
+            if node.name not in allowed:
+                return None
+            return 0, {node.name: 1}
+        if isinstance(node, Add):
+            const = 0
+            strides: dict[str, int] = {}
+            for arg in node.args:
+                part = walk(arg)
+                if part is None:
+                    return None
+                const += part[0]
+                for name, coeff in part[1].items():
+                    strides[name] = strides.get(name, 0) + coeff
+            return const, strides
+        if isinstance(node, Mul):
+            coeff = 1
+            linear: Optional[Tuple[int, dict]] = None
+            for arg in node.args:
+                if isinstance(arg, Const):
+                    coeff *= arg.value
+                    continue
+                part = walk(arg)
+                if part is None:
+                    return None
+                if part[1]:
+                    if linear is not None:
+                        return None  # variable × variable: not affine
+                    linear = part
+                else:
+                    coeff *= part[0]
+            if linear is None:
+                return coeff, {}
+            const = linear[0] * coeff
+            return const, {name: c * coeff for name, c in linear[1].items()}
+        return None
+
+    result = walk(expr)
+    if result is None:
+        return None
+    const, strides = result
+    return const, {name: c for name, c in strides.items() if c != 0}
+
+
+def is_mixed_radix_bijection(
+    const: int, pairs: Iterable[Tuple[int, int]], total: int
+) -> bool:
+    """Is ``const + Σ stride_k · i_k`` (``0 <= i_k < extent_k``) a bijection
+    onto ``[0, total)``?
+
+    ``pairs`` is the ``(stride, extent)`` list of the affine offset.  The map
+    is a bijection exactly when the constant term is zero and the strides,
+    sorted increasingly (dimensions of extent 1 contribute nothing and are
+    skipped), form a *permuted mixed-radix basis*: the smallest stride is 1
+    and each subsequent stride is the previous stride times the previous
+    extent, with the extents multiplying out to ``total``.  This is the
+    static form of the LUD ``element_offset`` check that previously ran by
+    enumerating every index combination at runtime.
+    """
+    if const != 0 or total <= 0:
+        return False
+    live: list[Tuple[int, int]] = []
+    for stride, extent in pairs:
+        if extent <= 0:
+            return False
+        if extent == 1:
+            continue
+        if stride <= 0:
+            # with const == 0 a negative or zero stride cannot reach [0, total)
+            return False
+        live.append((stride, extent))
+    live.sort()
+    expected = 1
+    for stride, extent in live:
+        if stride != expected:
+            return False
+        expected *= extent
+    return expected == total

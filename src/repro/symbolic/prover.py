@@ -27,6 +27,7 @@ fact is declared on the environment.
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from typing import Callable, Iterable, Mapping, Optional
 
 from .expr import (
@@ -55,11 +56,48 @@ __all__ = [
     "is_nonzero",
     "prove_le",
     "prove_lt",
+    "prove_in_bounds",
     "prove_nonneg",
     "prove_positive",
     "prove",
     "brute_force_check",
+    "record_proof_queries",
 ]
+
+
+# ---------------------------------------------------------------------------
+# query recording (prover-completeness regression tests)
+# ---------------------------------------------------------------------------
+
+#: when a list, every public ``prove_*`` verdict is appended as
+#: ``(kind, printed query, proven)`` — including cache hits, so a recorded
+#: sweep sees the query mix the callers actually issue.
+_QUERY_LOG: Optional[list] = None
+
+
+@contextmanager
+def record_proof_queries():
+    """Collect every ``prove_*`` verdict fired while the context is active.
+
+    Yields the live list of ``(kind, query, proven)`` tuples.  Used by the
+    completeness regression test to compare the proven-rate of an 8-app
+    generation sweep against a recorded baseline.  Nesting restores the
+    previous recorder on exit.
+    """
+    global _QUERY_LOG
+    previous = _QUERY_LOG
+    log: list[tuple[str, str, bool]] = []
+    _QUERY_LOG = log
+    try:
+        yield log
+    finally:
+        _QUERY_LOG = previous
+
+
+def _record_query(kind: str, query: Callable[[], str], result: bool) -> bool:
+    if _QUERY_LOG is not None:
+        _QUERY_LOG.append((kind, query(), result))
+    return result
 
 
 def _var_lo_const(var: Var, env: SymbolicEnv) -> Optional[int]:
@@ -78,7 +116,7 @@ def is_nonneg(expr: ExprLike, env: SymbolicEnv) -> bool:
     expr = as_expr(expr)
     if isinstance(expr, Const):
         return expr.value >= 0
-    cache = env._proof_cache
+    cache = env.caches.proof
     key = (_NONNEG, expr._id)
     hit = cache.get(key)
     if hit is not None:
@@ -144,7 +182,7 @@ def is_positive(expr: ExprLike, env: SymbolicEnv) -> bool:
     expr = as_expr(expr)
     if isinstance(expr, Const):
         return expr.value > 0
-    cache = env._proof_cache
+    cache = env.caches.proof
     key = (_POSITIVE, expr._id)
     hit = cache.get(key)
     if hit is not None:
@@ -192,7 +230,7 @@ def is_nonzero(expr: ExprLike, env: SymbolicEnv) -> bool:
     expr = as_expr(expr)
     if isinstance(expr, Const):
         return expr.value != 0
-    cache = env._proof_cache
+    cache = env.caches.proof
     key = (_NONZERO, expr._id)
     hit = cache.get(key)
     if hit is not None:
@@ -207,20 +245,22 @@ def is_nonzero(expr: ExprLike, env: SymbolicEnv) -> bool:
 def prove_nonneg(expr: ExprLike, env: SymbolicEnv) -> bool:
     """Prove ``expr >= 0`` using structure first, then range bounds."""
     expr = as_expr(expr)
-    cache = env._proof_cache
+    cache = env.caches.proof
     key = (_PROVE_NONNEG, expr._id)
     hit = cache.get(key)
     if hit is not None:
         CACHE_STATS.proof_hits += 1
-        return hit
+        return _record_query("nonneg", lambda: f"0 <= {expr}", hit)
     result = _prove_nonneg_impl(expr, env)
     CACHE_STATS.proof_misses += 1
     cache[key] = result
-    return result
+    return _record_query("nonneg", lambda: f"0 <= {expr}", result)
 
 
 def _prove_nonneg_impl(expr: Expr, env: SymbolicEnv) -> bool:
     if is_nonneg(expr, env):
+        return True
+    if _indexrange_nonneg(expr, env):
         return True
     lo = env.range_of(expr).lo
     if lo is not None and lo is not expr and is_nonneg(lo, env):
@@ -231,16 +271,16 @@ def _prove_nonneg_impl(expr: Expr, env: SymbolicEnv) -> bool:
 def prove_positive(expr: ExprLike, env: SymbolicEnv) -> bool:
     """Prove ``expr > 0`` using structure first, then range bounds."""
     expr = as_expr(expr)
-    cache = env._proof_cache
+    cache = env.caches.proof
     key = (_PROVE_POSITIVE, expr._id)
     hit = cache.get(key)
     if hit is not None:
         CACHE_STATS.proof_hits += 1
-        return hit
+        return _record_query("positive", lambda: f"0 < {expr}", hit)
     result = _prove_positive_impl(expr, env)
     CACHE_STATS.proof_misses += 1
     cache[key] = result
-    return result
+    return _record_query("positive", lambda: f"0 < {expr}", result)
 
 
 def _prove_positive_impl(expr: Expr, env: SymbolicEnv) -> bool:
@@ -257,17 +297,17 @@ def prove_le(lhs: ExprLike, rhs: ExprLike, env: SymbolicEnv) -> bool:
     lhs = as_expr(lhs)
     rhs = as_expr(rhs)
     if lhs == rhs:
-        return True
-    cache = env._proof_cache
+        return _record_query("le", lambda: f"{lhs} <= {rhs}", True)
+    cache = env.caches.proof
     key = (_LE, lhs._id, rhs._id)
     hit = cache.get(key)
     if hit is not None:
         CACHE_STATS.proof_hits += 1
-        return hit
+        return _record_query("le", lambda: f"{lhs} <= {rhs}", hit)
     result = _prove_le_impl(lhs, rhs, env)
     CACHE_STATS.proof_misses += 1
     cache[key] = result
-    return result
+    return _record_query("le", lambda: f"{lhs} <= {rhs}", result)
 
 
 def _prove_le_impl(lhs: Expr, rhs: Expr, env: SymbolicEnv) -> bool:
@@ -297,25 +337,47 @@ def _prove_le_impl(lhs: Expr, rhs: Expr, env: SymbolicEnv) -> bool:
 def _difference_nonneg(diff: Expr, env: SymbolicEnv) -> bool:
     """Prove that a difference expression is non-negative.
 
-    Three stages, each strictly stronger than the previous:
+    Four stages, each strictly stronger than the previous:
 
     1. structural sign analysis of the difference as written;
-    2. the same analysis after distributing products over sums, which lets the
-       n-ary ``Add`` canonicaliser cancel syntactically different but equal
-       terms (``nt_n*(X + 1) - nt_n - nt_n*X``);
-    3. term cancellation against relational facts — user-declared ``lhs <=
+    2. stride-aware constant-bounds analysis (:func:`~repro.symbolic.
+       indexrange.index_range`): exact interval arithmetic over the
+       env-declared constant variable ranges, which — unlike the structural
+       stage — handles negative coefficients (``n - r - brick*bz - tz - 1``)
+       and div/mod folding, the shapes guard elimination produces;
+    3. the same sign analysis after distributing products over sums, which
+       lets the n-ary ``Add`` canonicaliser cancel syntactically different
+       but equal terms (``nt_n*(X + 1) - nt_n - nt_n*X``);
+    4. term cancellation against relational facts — user-declared ``lhs <=
        rhs`` constraints plus the built-in lemma ``min(a, b) * max(1, a // b)
        <= a`` for non-negative ``a``/positive ``b`` (which Z3 discharges for
        the paper; grouped thread-block layouts need it).
     """
     if is_nonneg(diff, env):
         return True
+    if _indexrange_nonneg(diff, env):
+        return True
     from .simplify import expand  # local import: simplify imports this module
 
     expanded = expand(diff)
-    if expanded != diff and is_nonneg(expanded, env):
+    if expanded != diff and (
+        is_nonneg(expanded, env) or _indexrange_nonneg(expanded, env)
+    ):
         return True
     return _nonneg_with_facts(expanded, env)
+
+
+def _indexrange_nonneg(diff: Expr, env: SymbolicEnv) -> bool:
+    """Stride-aware stage: ``base + [lo, hi] >= 0`` when ``lo >= 0`` and the
+    residual base is itself provably non-negative (trivially so when zero)."""
+    from .indexrange import index_range  # local import: avoids a cycle
+
+    r = index_range(diff, env)
+    if r.lo is None or r.lo < 0:
+        return False
+    if r.is_constant():
+        return True
+    return is_nonneg(r.base, env)
 
 
 def _product_facts(expr: Expr, env: SymbolicEnv) -> list[tuple[Expr, Expr]]:
@@ -428,8 +490,31 @@ def prove_lt(lhs: ExprLike, rhs: ExprLike, env: SymbolicEnv) -> bool:
     return prove_le(as_expr(lhs) + 1, rhs, env)
 
 
+def prove_in_bounds(
+    expr: ExprLike, lo: ExprLike, hi: ExprLike, env: SymbolicEnv
+) -> bool:
+    """Prove the access-in-bounds obligation ``lo <= expr <= hi``.
+
+    This is the query code generation issues to discharge a bounds guard:
+    ``lo``/``hi`` are *inclusive* (an index into an extent-``n`` buffer is in
+    bounds when ``prove_in_bounds(idx, 0, n - 1, env)``).  Both sides run
+    through :func:`prove_le` and therefore benefit from the stride-aware
+    constant-bounds stage.
+    """
+    expr = as_expr(expr)
+    result = prove_le(lo, expr, env) and prove_le(expr, hi, env)
+    return _record_query(
+        "in_bounds", lambda: f"{as_expr(lo)} <= {expr} <= {as_expr(hi)}", result
+    )
+
+
 def prove(predicate: Expr, env: SymbolicEnv) -> bool:
     """Prove a comparison/boolean predicate node."""
+    result = _prove_impl(predicate, env)
+    return _record_query("prove", lambda: str(predicate), result)
+
+
+def _prove_impl(predicate: Expr, env: SymbolicEnv) -> bool:
     if isinstance(predicate, Cmp):
         lhs, rhs = predicate.lhs, predicate.rhs
         if predicate.op == "<":

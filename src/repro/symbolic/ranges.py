@@ -189,45 +189,90 @@ class Interval:
         return Interval(min(corners), max(corners))
 
     def floordiv(self, other: "Interval") -> "Interval":
-        """Sound interval for floor division; assumes the divisor excludes 0
-        when its interval contains 0 (division by zero is a runtime error, so
-        the result range only needs to cover defined executions)."""
-        divisors = []
-        for b in (other.lo, other.hi):
-            if b is not None and b != 0:
-                divisors.append(b)
-        # When the divisor interval straddles 0, also consider +/-1 (the
-        # nearest legal divisors) so the bound stays sound.
-        if other.contains(1):
-            divisors.append(1)
-        if other.contains(-1):
-            divisors.append(-1)
-        if not divisors or self.lo is None or self.hi is None:
-            if self.is_nonnegative() and other.is_positive():
-                hi = None
-                if self.hi is not None and other.lo:
-                    hi = self.hi // other.lo
-                return Interval(0, hi)
+        """Sound interval for floor division.
+
+        The divisor interval implicitly excludes 0 (division by zero is a
+        runtime error, so the result range only needs to cover defined
+        executions).  A divisor interval that straddles 0 is split into its
+        negative and positive halves and the results are unioned.  Half-
+        bounded operands stay as tight as floor-division monotonicity allows:
+        ``x // d`` for ``d >= 1`` is monotone increasing in ``x`` and, for a
+        fixed ``x``, moves monotonically toward ``0`` (``x >= 0``) or ``-1``
+        (``x < 0``) as ``d`` grows without bound.
+        """
+        positive = other.intersect(Interval(1, None))
+        negative = other.intersect(Interval(None, -1))
+        if positive is None and negative is None:
+            # the divisor can only be 0: no defined executions to cover
             return Interval.top()
-        corners = []
-        for a in (self.lo, self.hi):
-            for b in divisors:
-                corners.append(a // b)
-        return Interval(min(corners), max(corners))
+        if positive is None:
+            # x // d == (-x) // (-d) exactly (same rational, same floor)
+            return (-self).floordiv(-negative)
+        if negative is not None:
+            return self.floordiv(positive).union((-self).floordiv(-negative))
+        dlo, dhi = positive.lo, positive.hi  # dlo >= 1; dhi None or >= dlo
+        # Upper bound: driven by the numerator's upper end.
+        if self.hi is None:
+            hi: Optional[int] = None
+        elif self.hi >= 0:
+            hi = self.hi // dlo  # largest quotient at the smallest divisor
+        else:
+            # negative numerator: quotient grows toward -1 as d grows
+            hi = -1 if dhi is None else self.hi // dhi
+        # Lower bound: driven by the numerator's lower end.
+        if self.lo is None:
+            lo: Optional[int] = None
+        elif self.lo >= 0:
+            lo = 0 if dhi is None else self.lo // dhi  # shrinks toward 0
+        else:
+            lo = self.lo // dlo  # most negative at the smallest divisor
+        return Interval(lo, hi)
 
     def mod(self, other: "Interval") -> "Interval":
-        """Sound interval for Python-semantics modulo with a positive divisor
-        interval; otherwise falls back to a coarse bound."""
-        if other.is_positive():
-            hi = None if other.hi is None else other.hi - 1
-            if self.is_nonnegative() and other.lo is not None and self.hi is not None and self.hi < other.lo:
+        """Sound interval for Python-semantics modulo.
+
+        Like :meth:`floordiv`, the divisor interval implicitly excludes 0;
+        a straddling divisor is split into its sign-definite halves and the
+        results are unioned.  ``x % d`` lies in ``[0, d - 1]`` for ``d >= 1``
+        and in ``[d + 1, 0]`` for ``d <= -1`` (Python/floor semantics), with
+        the identity refinement when the value provably never wraps.
+        """
+        positive = other.intersect(Interval(1, None))
+        negative = other.intersect(Interval(None, -1))
+        results = []
+        if positive is not None:
+            if (
+                self.is_nonnegative()
+                and positive.lo is not None
+                and self.hi is not None
+                and self.hi < positive.lo
+            ):
                 # value already smaller than any possible modulus
-                return Interval(self.lo, self.hi)
-            return Interval(0, hi)
-        if other.is_negative():
-            lo = None if other.lo is None else other.lo + 1
-            return Interval(lo, 0)
-        return Interval.top()
+                results.append(Interval(self.lo, self.hi))
+            else:
+                results.append(
+                    Interval(0, None if positive.hi is None else positive.hi - 1)
+                )
+        if negative is not None:
+            if (
+                self.hi is not None
+                and self.hi <= 0
+                and negative.hi is not None
+                and self.lo is not None
+                and self.lo > negative.hi
+            ):
+                # nonpositive value strictly above every divisor: identity
+                results.append(Interval(self.lo, self.hi))
+            else:
+                results.append(
+                    Interval(None if negative.lo is None else negative.lo + 1, 0)
+                )
+        if not results:
+            return Interval.top()
+        out = results[0]
+        for extra in results[1:]:
+            out = out.union(extra)
+        return out
 
     def min(self, other: "Interval") -> "Interval":
         return Interval(_min_opt([self.lo, other.lo]), _min_opt([self.hi, other.hi]))

@@ -66,6 +66,7 @@ from .expr import (
     Var,
     as_expr,
 )
+from .indexrange import constant_interval
 from .prover import is_nonzero, is_positive, prove_le, prove_lt, prove_nonneg
 from .stats import CACHE_STATS
 from .symranges import SymbolicEnv
@@ -325,6 +326,47 @@ def _div_negative_const(expr: FloorDiv, env: SymbolicEnv, rw: _Rewriter) -> Opti
         if prove_le(Const(-num.value), den, env):
             return Const(-1)
     return None
+
+
+@_rule(
+    FloorDiv,
+    "div-interval-collapse",
+    "x // c -> q when the constant range of x lies within [q*c, (q+1)*c)",
+)
+def _div_interval_collapse(expr: FloorDiv, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    # The stride-aware range analysis carries exact constant bounds through
+    # negative coefficients, so this subsumes div-range-zero (q == 0, x >= 0)
+    # and additionally collapses negative-range and shifted numerators.
+    den = expr.denominator
+    if not isinstance(den, Const) or den.value <= 0:
+        return None
+    bounds = constant_interval(expr.numerator, env)
+    if bounds is None or bounds.lo is None or bounds.hi is None:
+        return None
+    quotient = bounds.lo // den.value
+    if bounds.hi // den.value != quotient:
+        return None
+    return Const(quotient)
+
+
+@_rule(
+    Mod,
+    "mod-interval-collapse",
+    "x % c -> x - q*c when the constant range of x lies within [q*c, (q+1)*c)",
+)
+def _mod_interval_collapse(expr: Mod, env: SymbolicEnv, rw: _Rewriter) -> Optional[Expr]:
+    mod = expr.modulus
+    if not isinstance(mod, Const) or mod.value <= 0:
+        return None
+    bounds = constant_interval(expr.value_expr, env)
+    if bounds is None or bounds.lo is None or bounds.hi is None:
+        return None
+    quotient = bounds.lo // mod.value
+    if bounds.hi // mod.value != quotient:
+        return None
+    if quotient == 0:
+        return expr.value_expr
+    return Add(expr.value_expr, Const(-quotient * mod.value))
 
 
 @_rule(FloorDiv, "div-split-multiple", "Table II rule 2: (d*q + r) / d -> q + r/d when d != 0")

@@ -40,7 +40,7 @@ from .expr import (
 )
 from .stats import CACHE_STATS
 
-__all__ = ["SymInterval", "SymbolicEnv"]
+__all__ = ["EnvCaches", "SymInterval", "SymbolicEnv"]
 
 
 def _opt_expr(value) -> Optional[Expr]:
@@ -98,6 +98,58 @@ class SymInterval:
         return f"[{lo}, {hi}]"
 
 
+class EnvCaches:
+    """Every env-scoped memo family behind **one** invalidation epoch.
+
+    The environment used to carry four parallel cache dicts, each cleared by
+    hand when a fact changed; adding the index-range family would have made
+    it five ways to forget one.  This object owns them all: ``invalidate()``
+    bumps the single ``epoch`` (the number that feeds
+    :attr:`SymbolicEnv.fingerprint`) and drops every family at once, so a
+    cache entry in *any* family is always consistent with the facts in force
+    when it was written.
+
+    Families (all identity-keyed on ``Expr.expr_id``):
+
+    * ``simplify`` — one-pass rewriter results (:mod:`.simplify`),
+    * ``fixpoint`` — ``simplify_fixpoint`` chains,
+    * ``proof`` — prover verdicts, keyed ``(kind tag, expr ids...)``,
+    * ``range`` — :class:`SymInterval` results of :meth:`SymbolicEnv.range_of`,
+    * ``indexrange`` — :class:`~repro.symbolic.indexrange.IndexRange`
+      results of the stride-aware constant-bounds analysis.
+    """
+
+    __slots__ = ("epoch", "simplify", "fixpoint", "proof", "range", "indexrange")
+
+    def __init__(self):
+        self.epoch = 0
+        self.simplify: dict[int, Expr] = {}
+        self.fixpoint: dict[int, Expr] = {}
+        self.proof: dict[tuple, bool] = {}
+        self.range: dict[int, SymInterval] = {}
+        self.indexrange: dict[int, object] = {}
+
+    def families(self) -> tuple[dict, ...]:
+        return (self.simplify, self.fixpoint, self.proof, self.range, self.indexrange)
+
+    def invalidate(self) -> None:
+        """A fact changed: bump the shared epoch, drop every family."""
+        self.epoch += 1
+        for family in self.families():
+            family.clear()
+
+    def copied(self) -> "EnvCaches":
+        """A snapshot carrying the same epoch and entries (for env copies)."""
+        new = EnvCaches()
+        new.epoch = self.epoch
+        new.simplify = dict(self.simplify)
+        new.fixpoint = dict(self.fixpoint)
+        new.proof = dict(self.proof)
+        new.range = dict(self.range)
+        new.indexrange = dict(self.indexrange)
+        return new
+
+
 class SymbolicEnv:
     """Assumption environment for symbolic simplification.
 
@@ -130,29 +182,42 @@ class SymbolicEnv:
         self._max_depth = 16
         # -- memoisation state (identity-keyed on Expr.expr_id) ---------------
         # Every declared fact can change what simplifies/proves, so any
-        # mutation bumps the version and drops the caches; a cache entry is
-        # therefore always consistent with the facts in force when it was
-        # written.  ``(expr_id, env_fingerprint)`` keying from the design
-        # notes degenerates to "env-local cache + invalidate on mutation".
-        self._version = 0
-        self._simplify_cache: dict[int, Expr] = {}
-        self._fixpoint_cache: dict[int, Expr] = {}
-        self._proof_cache: dict[tuple, bool] = {}
-        self._range_cache: dict[int, SymInterval] = {}
+        # mutation bumps the shared cache epoch and drops every family at
+        # once (see :class:`EnvCaches`); an entry is therefore always
+        # consistent with the facts in force when it was written.
+        self.caches = EnvCaches()
         self._range_cutoff_events = 0
+
+    # Back-compat aliases for the pre-unification attribute names; new code
+    # should go through :attr:`caches` directly.
+    @property
+    def _simplify_cache(self) -> dict[int, Expr]:
+        return self.caches.simplify
+
+    @property
+    def _fixpoint_cache(self) -> dict[int, Expr]:
+        return self.caches.fixpoint
+
+    @property
+    def _proof_cache(self) -> dict[tuple, bool]:
+        return self.caches.proof
+
+    @property
+    def _range_cache(self) -> dict[int, SymInterval]:
+        return self.caches.range
+
+    @property
+    def _version(self) -> int:
+        return self.caches.epoch
 
     @property
     def fingerprint(self) -> tuple[int, int]:
-        """Identity + mutation-count pair distinguishing assumption states."""
-        return (id(self), self._version)
+        """Identity + cache-epoch pair distinguishing assumption states."""
+        return (id(self), self.caches.epoch)
 
     def _invalidate(self) -> None:
-        """A fact changed: bump the version and drop every memo table."""
-        self._version += 1
-        self._simplify_cache.clear()
-        self._fixpoint_cache.clear()
-        self._proof_cache.clear()
-        self._range_cache.clear()
+        """A fact changed: bump the shared epoch and drop every memo table."""
+        self.caches.invalidate()
 
     # -- declarations ---------------------------------------------------------
 
@@ -253,10 +318,7 @@ class SymbolicEnv:
         new._le_facts = list(self._le_facts)
         # The copy holds exactly the same facts, so the memoised results are
         # still valid and carry over (they are invalidated independently).
-        new._simplify_cache = dict(self._simplify_cache)
-        new._fixpoint_cache = dict(self._fixpoint_cache)
-        new._proof_cache = dict(self._proof_cache)
-        new._range_cache = dict(self._range_cache)
+        new.caches = self.caches.copied()
         return new
 
     def merged_with(self, other: "SymbolicEnv | None") -> "SymbolicEnv":

@@ -211,6 +211,30 @@ def test_result_cache_prune_keeps_unsalted_entries():
     assert cache.get("foreign") is not None and cache.get("stranded") is None
 
 
+def test_result_cache_version_salt_invalidates_and_prune_reclaims(monkeypatch):
+    """The 1.6.0 range-analysis refactor changes what cached results mean
+    (guard-eliminated launches, statically proven layouts), so the version
+    salt must repartition the key space and ``prune`` must reclaim the
+    pre-refactor generation of entries."""
+    import repro
+
+    config = {"block": 64, "cuda_block": 16}
+    exprs = {"element_offset": "tx + 16*ty"}
+    current_key = ResultCache.key("lud", config, exprs, backend="cuda")
+    monkeypatch.setattr(repro, "__version__", "1.5.0")
+    old_key = ResultCache.key("lud", config, exprs, backend="cuda")
+    monkeypatch.undo()
+    assert old_key != current_key  # the bump re-salted every key
+
+    cache = ResultCache(None)
+    cache.put(old_key, {"version": "1.5.0", "time_seconds": 1.0})
+    cache.put(current_key, {"version": repro.__version__, "time_seconds": 2.0})
+    removed = cache.prune(lambda key, entry: entry.get("version") == repro.__version__)
+    assert removed == 1
+    assert cache.get(old_key) is None
+    assert cache.get(current_key) == {"version": repro.__version__, "time_seconds": 2.0}
+
+
 def test_result_cache_reload_merges_foreign_saves(tmp_path):
     """reload() picks up sibling writers without dropping local dirty puts."""
     path = tmp_path / "shared.json"

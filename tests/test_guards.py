@@ -1,0 +1,211 @@
+"""Static guard elimination: obligations, proven launches, app equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.apps import lud, nw, stencil
+from repro.codegen import (
+    CodegenContext,
+    discharge_in_bounds,
+    generate_triton_kernel,
+    prove_guard_redundant,
+)
+from repro.obs.metrics import counter
+from repro.symbolic import BoolAnd, Mod, SymbolicEnv, Var, as_expr
+
+
+# -- the codegen proof-obligation API ----------------------------------------------
+
+
+def test_require_in_bounds_discharges_during_lower():
+    ctx = CodegenContext("obligations")
+    i = ctx.index("i", 16)
+    ctx.bind("offset", i * 4 + 3)
+    ctx.require_in_bounds("offset", 0, 63)
+    ctx.lower()
+    assert ctx.proven_bounds == {"offset": True}
+
+
+def test_require_in_bounds_unprovable_is_false_not_an_error():
+    ctx = CodegenContext("obligations")
+    i = ctx.index("i", 16)
+    ctx.bind("offset", i * 4)
+    ctx.require_in_bounds("offset", 0, 10)
+    ctx.lower()
+    assert ctx.proven_bounds == {"offset": False}
+
+
+def test_require_in_bounds_on_unbound_name_raises():
+    ctx = CodegenContext("obligations")
+    ctx.index("i", 4)
+    ctx.require_in_bounds("missing", 0, 3)
+    with pytest.raises(KeyError):
+        ctx.lower()
+
+
+def test_obligations_participate_in_the_lowering_cache_key():
+    ctx = CodegenContext("obligations")
+    i = ctx.index("i", 16)
+    ctx.bind("offset", i * 4)
+    first = ctx.lower()
+    assert ctx.proven_bounds == {}
+    ctx.require_in_bounds("offset", 0, 60)
+    second = ctx.lower()  # a new obligation must invalidate the cached lowering
+    assert ctx.proven_bounds == {"offset": True}
+    assert second is not first
+
+
+def test_generated_kernel_carries_proven_bounds():
+    ctx = CodegenContext("carries")
+    i = ctx.index("i", 8)
+    ctx.bind("off", i * 2)
+    ctx.require_in_bounds("off", 0, 14)
+    kernel = generate_triton_kernel("carries", "x = {{ off }}", ctx)
+    assert kernel.proven_bounds == {"off": True}
+
+
+def test_guard_proof_updates_counters():
+    env = SymbolicEnv()
+    i = env.declare_index("i", 8)
+    eliminated = counter("repro.symbolic.guards_eliminated")
+    static = counter("repro.symbolic.proofs_static")
+    fallback = counter("repro.symbolic.proofs_fallback")
+    base = (eliminated.value, static.value, fallback.value)
+    assert prove_guard_redundant(BoolAnd(i.ge(0), i.lt(8)), env, kernel="t")
+    assert (eliminated.value, static.value) == (base[0] + 1, base[1] + 1)
+    assert not prove_guard_redundant(i.lt(7), env, kernel="t")
+    assert fallback.value == base[2] + 1
+    assert discharge_in_bounds(i, 0, 7, env, kernel="t")
+    assert static.value == base[1] + 2
+    assert eliminated.value == base[0] + 1  # in-bounds proofs are not guard drops
+
+
+# -- LUD: static bijectivity --------------------------------------------------------
+
+
+@pytest.mark.parametrize("block,cuda_block", [(16, 16), (32, 16), (64, 16), (32, 8), (128, 32)])
+def test_lud_bijectivity_is_static_and_agrees_with_enumeration(block, cuda_block):
+    cfg = lud.LudConfig(n=2 * block, block=block, cuda_block=cuda_block)
+    kernel = lud.generate_lud_internal_kernel(cfg)
+    assert lud.prove_element_offset_bijection(kernel, cfg) is True
+    assert lud.assert_element_offset_bijection(kernel, cfg) == "static"
+    lud.check_element_offsets(kernel, cfg)  # the retained enumeration agrees
+    assert kernel.proven_bounds == {"element_offset": True}
+
+
+def test_lud_nonaffine_layout_falls_back_to_enumeration():
+    # a multiplicative swizzle: flat * 5 % 16 is a bijection on [0, 16)
+    # (5 is coprime with 16) but not affine, so the static proof abstains
+    cfg = lud.LudConfig(n=8, block=4, cuda_block=2)
+    r_i, r_j, ty, tx = Var("r_i"), Var("r_j"), Var("ty"), Var("tx")
+    ctx = CodegenContext("swizzled")
+    for var, extent in ((r_i, 2), (r_j, 2), (ty, 2), (tx, 2)):
+        ctx.index(var, extent)
+    flat = tx + 2 * as_expr(ty) + 4 * as_expr(r_j) + 8 * as_expr(r_i)
+    ctx.bind("element_offset", Mod(flat * 5, 16))
+    kernel = generate_triton_kernel("swizzled", "x = {{ element_offset }}", ctx)
+    assert lud.prove_element_offset_bijection(kernel, cfg) is None
+    assert lud.assert_element_offset_bijection(kernel, cfg) == "enumerated"
+
+
+def test_lud_broken_layout_is_statically_rejected():
+    cfg = lud.LudConfig(n=8, block=4, cuda_block=2)
+    r_i, r_j, ty, tx = Var("r_i"), Var("r_j"), Var("ty"), Var("tx")
+    ctx = CodegenContext("broken")
+    for var, extent in ((r_i, 2), (r_j, 2), (ty, 2), (tx, 2)):
+        ctx.index(var, extent)
+    # stride 2 on tx collides with ty's stride: not a mixed-radix basis
+    ctx.bind("element_offset", 2 * as_expr(tx) + 2 * as_expr(ty) + 4 * as_expr(r_j) + 8 * as_expr(r_i))
+    kernel = generate_triton_kernel("broken", "x = {{ element_offset }}", ctx)
+    assert lud.prove_element_offset_bijection(kernel, cfg) is False
+    with pytest.raises(ValueError, match="not a bijection"):
+        lud.assert_element_offset_bijection(kernel, cfg)
+
+
+# -- NW: wavefront guard elimination ------------------------------------------------
+
+
+def test_nw_wave_span_enumerates_exactly_the_live_blocks():
+    for block_count in (1, 2, 3, 5, 8):
+        for wave in range(2 * block_count - 1):
+            lo, hi = nw.nw_wave_span(wave, block_count)
+            blocks_on_wave = min(wave + 1, block_count, 2 * block_count - 1 - wave)
+            assert hi - lo + 1 == blocks_on_wave
+            for bx in range(lo, hi + 1):
+                by = wave - bx
+                assert 0 <= bx < block_count and 0 <= by < block_count
+            # nothing outside the span is live
+            if lo > 0:
+                assert not (0 <= wave - (lo - 1) < block_count)
+            if hi < block_count - 1:
+                assert not (0 <= wave - (hi + 1) < block_count)
+
+
+def test_nw_every_wave_guard_is_proven():
+    nw._prove_wave_guard.cache_clear()
+    for block_count in (1, 2, 4, 8):
+        for wave in range(2 * block_count - 1):
+            assert nw._prove_wave_guard(wave, block_count), (wave, block_count)
+
+
+def test_nw_guard_eliminated_run_matches_guarded_run():
+    rng = np.random.default_rng(3)
+    cfg = nw.NwConfig(n=48, block=16)
+    reference = rng.integers(-4, 5, size=(cfg.n, cfg.n)).astype(np.int32)
+    expected = nw.nw_reference(reference, cfg.penalty)
+    for layout in (None, nw.antidiagonal_buffer_layout(cfg.block)):
+        out_e, tr_e = nw.run_nw_blocked(reference, cfg, layout=layout, eliminate_guards=True)
+        out_g, tr_g = nw.run_nw_blocked(reference, cfg, layout=layout, eliminate_guards=False)
+        assert np.array_equal(out_e, expected)
+        assert np.array_equal(out_g, expected)
+        # the unguarded launch must not perturb the measured profile: same
+        # traffic, same conflicts, same executed blocks
+        for attr in (
+            "load_bytes", "store_bytes", "load_transactions", "store_transactions",
+            "smem_load_bytes", "smem_store_bytes", "flops", "blocks", "executed_blocks",
+        ):
+            assert getattr(tr_e, attr) == getattr(tr_g, attr), attr
+        assert tr_e.bank_conflict_factor == tr_g.bank_conflict_factor
+
+
+# -- stencil: interior-block guard elimination --------------------------------------
+
+
+def test_interior_block_span_matches_enumeration():
+    for n, brick, r in [(8, 4, 1), (16, 4, 1), (16, 4, 2), (16, 8, 1), (12, 4, 3), (24, 4, 4)]:
+        span = stencil.interior_block_span(n, brick, r)
+        interior_blocks = [
+            b for b in range(n // brick)
+            if all(r <= b * brick + t < n - r for t in range(brick))
+        ]
+        if span is None:
+            assert interior_blocks == []
+        else:
+            assert interior_blocks == list(range(span[0], span[1] + 1))
+
+
+def test_stencil_interior_span_is_proven_whenever_it_exists():
+    stencil._prove_interior_span.cache_clear()
+    for n, brick, r in [(16, 4, 1), (16, 4, 2), (12, 4, 1), (24, 8, 2), (32, 4, 4)]:
+        assert stencil.interior_block_span(n, brick, r) is not None
+        assert stencil._prove_interior_span(n, brick, r), (n, brick, r)
+    # no interior block -> nothing to prove, stays guarded
+    assert not stencil._prove_interior_span(8, 4, 1)
+
+
+@pytest.mark.parametrize("spec", [stencil.STENCILS[0], stencil.STENCILS[4]])
+def test_stencil_guard_eliminated_run_matches_guarded_run(spec):
+    rng = np.random.default_rng(5)
+    n, brick = 16, 4
+    grid = rng.standard_normal((n, n, n)).astype(np.float32)
+    expected = stencil.stencil_reference(grid, spec)
+    for layout in (None, stencil.brick_layout(n, brick)):
+        out_e, tr_e = stencil.run_stencil(grid, spec, layout=layout, brick=brick,
+                                          eliminate_guards=True)
+        out_g, tr_g = stencil.run_stencil(grid, spec, layout=layout, brick=brick,
+                                          eliminate_guards=False)
+        assert np.allclose(out_e, expected, atol=1e-5)
+        assert np.allclose(out_g, expected, atol=1e-5)
+        for attr in ("load_bytes", "store_bytes", "load_transactions",
+                     "store_transactions", "flops"):
+            assert getattr(tr_e, attr) == getattr(tr_g, attr), attr

@@ -506,3 +506,40 @@ def test_search_result_serializes_engine_and_stage_seconds():
     assert summary["engine"] == "vectorized"
     assert summary["stage_seconds"]["measure"] == 1.5
     assert summary["device"] == "h100"
+
+
+# -- range-analysis instrumentation (ISSUE: stride-aware range analysis) ------------
+
+
+def test_symbolic_range_span_nests_under_codegen_lower():
+    from repro.codegen import CodegenContext, prove_guard_redundant
+    from repro.symbolic import SymbolicEnv
+
+    with tracing(True):
+        TRACER.clear()
+        ctx = CodegenContext("traced_obligation")
+        i = ctx.index("i", 16)
+        ctx.bind("offset", i * 4 + 3)
+        ctx.require_in_bounds("offset", 0, 63)
+        ctx.lower()
+        events = TRACER.events()
+    assert ctx.proven_bounds == {"offset": True}
+    # touch the other proof outcomes so all three counters are registered
+    env = SymbolicEnv()
+    j = env.declare_index("j", 8)
+    assert prove_guard_redundant(j.lt(8), env, kernel="traced_obligation")
+    assert not prove_guard_redundant(j.lt(7), env, kernel="traced_obligation")
+    lower = [e for e in events if e["name"] == "codegen.lower"]
+    proofs = [e for e in events if e["name"] == "symbolic.range"]
+    assert lower and proofs
+    outer = lower[-1]
+    for inner in proofs:
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+    assert proofs[-1]["args"]["kernel"] == "traced_obligation"
+    assert proofs[-1]["args"]["query"] == "in_bounds"
+    # the proof outcome counters are registered on the shared registry
+    names = set(REGISTRY.snapshot())
+    assert "repro.symbolic.proofs_static" in names
+    assert "repro.symbolic.proofs_fallback" in names
+    assert "repro.symbolic.guards_eliminated" in names
